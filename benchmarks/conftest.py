@@ -1,0 +1,71 @@
+"""Shared benchmark infrastructure.
+
+Every figure/table of the paper's evaluation (§5) has one benchmark file
+here.  Each runs its experiment grid once (wrapped in
+``benchmark.pedantic`` so ``pytest benchmarks/ --benchmark-only`` both
+times the simulator and regenerates the figure), prints the reproduced
+rows next to the paper's numbers, and writes a markdown report under
+``benchmarks/results/``.
+
+``REPRO_BENCH_SCALE`` (default 0.1) jointly scales heaps and datasets;
+shapes are scale-invariant by design (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.harness.experiment import ExperimentResult
+
+#: Joint data/heap scale for benchmark runs.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+#: All seven Table 4 programs.
+ALL_WORKLOADS = ("PR", "KM", "LR", "TC", "CC", "SSSP", "BC")
+
+#: The four programs used by Figures 6 and 7.
+GRID_WORKLOADS = ("PR", "LR", "CC", "BC")
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_report(name: str, title: str, lines: Sequence[str]) -> pathlib.Path:
+    """Persist one reproduced figure/table as markdown."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.md"
+    body = [f"# {title}", "", f"(scale = {BENCH_SCALE})", ""]
+    body.extend(lines)
+    path.write_text("\n".join(body) + "\n")
+    return path
+
+
+def norm(results: Dict[str, ExperimentResult], baseline: str) -> Dict[str, Dict[str, float]]:
+    """Normalise time/energy against a baseline key."""
+    base = results[baseline]
+    return {
+        key: {
+            "time": r.elapsed_s / base.elapsed_s,
+            "energy": r.energy_j / base.energy_j,
+            "gc": (r.gc_s / base.gc_s) if base.gc_s else 0.0,
+        }
+        for key, r in results.items()
+    }
+
+
+def print_and_report(name: str, title: str, lines: List[str]) -> None:
+    """Print a reproduced figure and persist it."""
+    print()
+    print(f"=== {title} ===")
+    for line in lines:
+        print(line)
+    write_report(name, title, lines)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """The session's joint scale factor."""
+    return BENCH_SCALE

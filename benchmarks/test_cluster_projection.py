@@ -1,0 +1,71 @@
+"""§5.2's cluster-scale argument, quantified.
+
+"The negative impact of the GC latency increases with the number of
+compute nodes ... we expect Panthera to provide even greater benefit
+when Spark is executed on a large NVM cluster."
+
+Projection: scatter each policy's measured pause profile over independent
+nodes with synchronised stages and report the cluster slowdown at
+K in {1, 4, 16, 64}.  The unmanaged layout's long NVM-bound pauses
+amplify much faster than Panthera's.
+"""
+
+from repro.cluster.projection import project_cluster
+from repro.harness.configs import fig4_configs
+from repro.harness.experiment import run_experiment
+
+from benchmarks.conftest import BENCH_SCALE, print_and_report
+
+CLUSTER_SIZES = (1, 4, 16, 64)
+
+
+def _run_all():
+    results = {}
+    for key, cfg in fig4_configs(BENCH_SCALE).items():
+        results[key] = run_experiment(
+            "PR", cfg, scale=BENCH_SCALE, keep_context=True
+        )
+    return results
+
+
+def test_cluster_scale_projection(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = [
+        "| policy | " + " | ".join(f"K={k} slowdown" for k in CLUSTER_SIZES) + " |",
+        "|---|" + "|".join("---" for _ in CLUSTER_SIZES) + "|",
+    ]
+    slowdowns = {}
+    for key, result in results.items():
+        row = [f"| {key} "]
+        for k in CLUSTER_SIZES:
+            projection = project_cluster(result, nodes=k)
+            slowdowns[(key, k)] = projection.slowdown
+            row.append(f"| {projection.slowdown:.3f} ")
+        row.append("|")
+        lines.append("".join(row))
+    lines.append("")
+    lines.append(
+        "paper (§5.2): GC pauses on one node stall the whole cluster; "
+        "Panthera's benefit grows with node count."
+    )
+    print_and_report(
+        "cluster_projection", "§5.2 cluster-scale projection", lines
+    )
+
+    for key in results:
+        # Slowdown is monotone in cluster size.
+        series = [slowdowns[(key, k)] for k in CLUSTER_SIZES]
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:])), key
+    # The paper's claim is about absolute benefit at scale: Panthera's
+    # cluster time stays below the unmanaged baseline's at every K, and
+    # its absolute advantage does not shrink as the cluster grows.
+    single_advantage = (
+        results["unmanaged"].elapsed_s - results["panthera"].elapsed_s
+    )
+    for k in CLUSTER_SIZES[1:]:
+        unmanaged_cluster = slowdowns[("unmanaged", k)] * results["unmanaged"].elapsed_s
+        panthera_cluster = slowdowns[("panthera", k)] * results["panthera"].elapsed_s
+        assert panthera_cluster < unmanaged_cluster, k
+        assert (
+            unmanaged_cluster - panthera_cluster >= single_advantage * 0.95
+        ), k

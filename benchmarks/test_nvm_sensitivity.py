@@ -1,0 +1,84 @@
+"""Sensitivity to the NVM technology point.
+
+The paper's introduction quotes a *range* for emerging NVMs — read
+latency "2-4x larger" than DRAM, bandwidth "about 1/8-1/3" of DRAM —
+and evaluates one point (2.5x / 1/3).  This sweep moves the emulated
+device across that range and checks the conclusion is robust: Panthera
+dominates the unmanaged layout everywhere, and its *advantage widens*
+as NVM gets worse (the slower the NVM, the more semantics-aware
+placement matters).
+"""
+
+from repro.config import PolicyName
+from repro.harness.configs import paper_config
+from repro.harness.experiment import run_experiment
+
+from benchmarks.conftest import BENCH_SCALE, print_and_report
+
+#: (label, latency factor, bandwidth factor) — relative to Table 2's
+#: 300 ns / 10 GB/s point.
+TECH_POINTS = [
+    ("optimistic (2x lat, 1/3 bw)", 0.8, 1.0),
+    ("paper (2.5x lat, 1/3 bw)", 1.0, 1.0),
+    ("pessimistic (4x lat, 1/6 bw)", 1.6, 0.5),
+    ("worst-case (4x lat, 1/8 bw)", 1.6, 0.375),
+]
+
+
+def _run_sweep():
+    out = {}
+    for label, lat, bw in TECH_POINTS:
+        row = {}
+        for policy in (
+            PolicyName.DRAM_ONLY,
+            PolicyName.UNMANAGED,
+            PolicyName.PANTHERA,
+        ):
+            cfg = paper_config(
+                64,
+                1 / 3,
+                policy,
+                BENCH_SCALE,
+                nvm_latency_factor=lat,
+                nvm_bandwidth_factor=bw,
+            )
+            row[policy.value] = run_experiment("PR", cfg, scale=BENCH_SCALE)
+        out[label] = row
+    return out
+
+
+def test_nvm_technology_sweep(benchmark):
+    results = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    lines = [
+        "| NVM point | unmanaged time | panthera time | unmanaged energy | panthera energy |",
+        "|---|---|---|---|---|",
+    ]
+    advantage = []
+    for label, row in results.items():
+        base = row["dram-only"]
+        unmanaged_t = row["unmanaged"].elapsed_s / base.elapsed_s
+        panthera_t = row["panthera"].elapsed_s / base.elapsed_s
+        lines.append(
+            f"| {label} | {unmanaged_t:.3f} | {panthera_t:.3f} "
+            f"| {row['unmanaged'].energy_j / base.energy_j:.3f} "
+            f"| {row['panthera'].energy_j / base.energy_j:.3f} |"
+        )
+        advantage.append(unmanaged_t - panthera_t)
+    lines.append("")
+    lines.append(
+        "Panthera's time advantage over the unmanaged layout per point: "
+        + ", ".join(f"{a:.3f}" for a in advantage)
+    )
+    print_and_report(
+        "nvm_sensitivity", "NVM technology sensitivity sweep (PageRank)", lines
+    )
+
+    # Panthera beats unmanaged at every technology point...
+    assert all(a > 0 for a in advantage)
+    # ...and the advantage at the worst-case NVM exceeds the optimistic one.
+    assert advantage[-1] > advantage[0]
+    # Hybrid still saves energy even at the worst point.
+    worst = results[TECH_POINTS[-1][0]]
+    assert (
+        worst["panthera"].energy_j < worst["dram-only"].energy_j
+    )

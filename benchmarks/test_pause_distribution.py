@@ -1,0 +1,56 @@
+"""GC pause distribution across placement policies.
+
+Section 5.3's mechanism, viewed through pause tails: NVM-resident
+collection work (card scans at 10 GB/s, compaction) stretches individual
+pauses, so the unmanaged layout's p99 pause is far worse than
+DRAM-only's, while Panthera — whose padding removes the rescans — keeps
+its pause tail near (or below) DRAM-only.  Pause tails are what stall a
+synchronised cluster (see ``test_cluster_projection.py``).
+"""
+
+from repro.harness.configs import fig4_configs
+from repro.harness.experiment import run_experiment
+
+from benchmarks.conftest import BENCH_SCALE, print_and_report
+
+PERCENTILES = (0.5, 0.9, 0.99, 1.0)
+
+
+def _run_all():
+    return {
+        key: run_experiment("PR", cfg, scale=BENCH_SCALE, keep_context=True)
+        for key, cfg in fig4_configs(BENCH_SCALE).items()
+    }
+
+
+def test_pause_distribution(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = [
+        "| policy | p50 (ms) | p90 (ms) | p99 (ms) | max (ms) | mean (ms) |",
+        "|---|---|---|---|---|---|",
+    ]
+    tails = {}
+    for key, result in results.items():
+        stats = result.context.collector.stats
+        row = [f"| {key} "]
+        for fraction in PERCENTILES:
+            value = stats.pause_percentile(fraction)
+            row.append(f"| {value:.1f} ")
+            tails[(key, fraction)] = value
+        row.append(f"| {stats.mean_pause_ms():.1f} |")
+        lines.append("".join(row))
+    lines.append("")
+    lines.append(
+        "note: Panthera's extreme tail is its rare major GCs (NVM "
+        "compaction in one pause); its typical (p50/p90) pauses are the "
+        "shortest of the three because padding removes the per-minor-GC "
+        "rescans."
+    )
+    print_and_report(
+        "pause_distribution", "GC pause distribution (PageRank)", lines
+    )
+
+    # Typical pauses: Panthera shortest, the unmanaged layout longest.
+    for fraction in (0.5, 0.9):
+        assert tails[("unmanaged", fraction)] >= tails[("dram-only", fraction)]
+        assert tails[("panthera", fraction)] <= tails[("dram-only", fraction)]

@@ -1,0 +1,62 @@
+"""Table 5: dynamic monitoring and migration under Panthera.
+
+Paper rows (calls monitored / RDDs migrated):
+  PR 328/0, KM 550/0, LR 333/0, TC 217/0, CC 2945/1, SSSP 3632/1, BC 336/0.
+Shape: monitoring is negligible-overhead; only the GraphX programs (whose
+unpersist pattern the static analysis cannot see) trigger migration.
+"""
+
+from repro.config import PolicyName
+from repro.harness.configs import paper_config
+from repro.harness.experiment import run_experiment
+
+from benchmarks.conftest import ALL_WORKLOADS, BENCH_SCALE, print_and_report
+
+PAPER = {
+    "PR": (328, 0),
+    "KM": (550, 0),
+    "LR": (333, 0),
+    "TC": (217, 0),
+    "CC": (2945, 1),
+    "SSSP": (3632, 1),
+    "BC": (336, 0),
+}
+
+
+def _run_all():
+    out = {}
+    for workload in ALL_WORKLOADS:
+        cfg = paper_config(64, 1 / 3, PolicyName.PANTHERA, BENCH_SCALE)
+        out[workload] = run_experiment(
+            workload, cfg, scale=BENCH_SCALE, keep_context=True
+        )
+    return out
+
+
+def test_table5_monitoring_and_migration(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = [
+        "| program | calls monitored (meas/paper) | RDDs migrated (meas/paper) "
+        "| monitoring overhead |",
+        "|---|---|---|---|",
+    ]
+    for workload in ALL_WORKLOADS:
+        r = results[workload]
+        paper_calls, paper_migrated = PAPER[workload]
+        overhead = r.context.monitor.overhead_ns / 1e9 / r.elapsed_s
+        lines.append(
+            f"| {workload} | {r.monitored_calls} / {paper_calls} "
+            f"| {r.migrated_rdds} / {paper_migrated} | {100 * overhead:.3f}% |"
+        )
+    print_and_report("table5", "Table 5: monitoring and migration", lines)
+
+    for workload in ALL_WORKLOADS:
+        r = results[workload]
+        # Monitoring overhead < 1 % (§5.5).
+        assert r.context.monitor.overhead_ns / 1e9 < 0.01 * r.elapsed_s
+        # Only the GraphX programs migrate.
+        if workload in ("CC", "SSSP"):
+            assert r.migrated_rdds >= 1, workload
+        else:
+            assert r.migrated_rdds == 0, workload
+        assert r.monitored_calls > 0

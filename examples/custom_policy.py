@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Writing your own placement policy.
+
+The collector is policy-agnostic: everything Panthera-specific sits
+behind :class:`repro.gc.policies.PlacementPolicy`.  This example rebuilds
+**write rationing** as a ~60-line custom policy on Panthera's machinery:
+static tags are ignored, every long-lived object starts in NVM, and only
+write-hot objects earn DRAM at major GCs.  Because it keeps Panthera's
+card padding, it dodges the GC pathology — what remains is precisely the
+semantic gap the paper identifies: read-mostly hot RDDs marooned on NVM.
+
+Run with:  python examples/custom_policy.py
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.config import DeviceKind, PolicyName
+from repro.core.static_analysis import analyze_program
+from repro.gc.policies import PlacementPolicy
+from repro.heap.object_model import HeapObject
+from repro.heap.spaces import Space
+from repro.spark.context import SparkContext
+from repro.spark.program import execute_program
+from repro.workloads.registry import build_workload
+
+SCALE = 0.1
+
+
+class EarnYourDram(PlacementPolicy):
+    """Ignore the static analysis entirely: every long-lived object
+    starts in NVM and only write-hot objects earn DRAM residency at
+    major GCs — pure write rationing rebuilt on Panthera's machinery."""
+
+    name = PolicyName.PANTHERA  # reuse Panthera's instrumentation hooks
+    card_padding = True
+
+    WRITE_HOT = 3
+
+    def build_old_spaces(self, base: int) -> List[Space]:
+        config = self.config
+        spaces = []
+        if config.old_dram_bytes > 0:
+            spaces.append(
+                Space("old-dram", base, config.old_dram_bytes, "old",
+                      device=DeviceKind.DRAM)
+            )
+            base += config.old_dram_bytes
+        spaces.append(
+            Space("old-nvm", base, config.old_nvm_bytes, "old",
+                  device=DeviceKind.NVM)
+        )
+        return spaces
+
+    def _dram(self, heap) -> Optional[Space]:
+        try:
+            return heap.old_space_named("old-dram")
+        except Exception:
+            return None
+
+    def array_allocation_space(self, heap, tag, size) -> Space:
+        # Tags are deliberately ignored: everything starts cold in NVM.
+        return heap.old_space_named("old-nvm")
+
+    def promotion_space(self, heap, obj) -> Space:
+        return heap.old_space_named("old-nvm")
+
+    def plan_migrations(self, heap, monitor) -> List[Tuple[HeapObject, Space]]:
+        dram = self._dram(heap)
+        if dram is None:
+            return []
+        budget = dram.free
+        moves = []
+        for obj in heap.old_space_named("old-nvm").iter_objects_by_addr():
+            if obj.write_count >= self.WRITE_HOT and obj.size <= budget:
+                budget -= obj.size
+                moves.append((obj, dram))
+        return moves
+
+
+def run(policy=None) -> dict:
+    from repro.harness.configs import paper_config
+
+    config = paper_config(64, 1 / 3, PolicyName.PANTHERA, SCALE)
+    ctx = SparkContext.create(config, policy=policy and policy(config))
+    spec = build_workload("PR", scale=SCALE, iterations=10)
+    tags = analyze_program(spec.program).tags
+    execute_program(spec.program, ctx, tags)
+    return {
+        "elapsed_s": ctx.machine.elapsed_s,
+        "gc_s": ctx.collector.stats.total_gc_s,
+        "energy_j": ctx.machine.energy_j(),
+    }
+
+
+def main() -> None:
+    panthera = run()
+    custom = run(EarnYourDram)
+    print(f"{'policy':18s} {'time':>8s} {'GC':>8s} {'energy':>9s}")
+    for name, row in (("panthera", panthera), ("earn-your-dram", custom)):
+        print(
+            f"{name:18s} {row['elapsed_s']:7.1f}s {row['gc_s']:7.1f}s "
+            f"{row['energy_j']:8.1f}J"
+        )
+    delta = custom["elapsed_s"] / panthera["elapsed_s"] - 1
+    print(
+        f"\nthe custom policy is {100 * delta:+.1f}% slower than Panthera "
+        "with higher energy: read-mostly hot RDDs never earn DRAM under "
+        "write rationing (the §5.2 trap). It keeps Panthera's card "
+        "padding, so the gap here is pure placement — the full "
+        "Kingsguard baselines in benchmarks/test_ablations.py, which "
+        "also lack padding, lose ~20%."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,249 @@
+"""Command-line interface: run experiments without writing Python.
+
+Examples::
+
+    python -m repro run PR --policy panthera --heap 64 --ratio 0.333 --scale 0.1
+    python -m repro compare KM --scale 0.1
+    python -m repro analyze PR
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import PolicyName
+from repro.core.static_analysis import analyze_program
+from repro.harness.configs import paper_config
+from repro.harness.experiment import run_experiment
+from repro.harness.report import format_markdown_table, normalize_results, summarize
+from repro.workloads.registry import WORKLOADS, build_workload
+
+_POLICY_CHOICES = {p.value: p for p in PolicyName}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", help="PR, KM, LR, TC, CC, SSSP or BC")
+    parser.add_argument("--heap", type=float, default=64.0, help="heap size in GB")
+    parser.add_argument(
+        "--ratio", type=float, default=1 / 3, help="DRAM share of physical memory"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1, help="joint data/heap scale factor"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None, help="override workload iterations"
+    )
+
+
+def _workload_kwargs(args) -> dict:
+    return {"iterations": args.iterations} if args.iterations else {}
+
+
+def cmd_run(args) -> int:
+    """``repro run``: one workload under one configuration."""
+    policy = _POLICY_CHOICES[args.policy]
+    config = paper_config(args.heap, args.ratio, policy, args.scale)
+    keep = bool(args.gclog or args.export_bandwidth or args.verify)
+    result = run_experiment(
+        args.workload,
+        config,
+        scale=args.scale,
+        workload_kwargs=_workload_kwargs(args),
+        keep_context=keep,
+    )
+    print(summarize(result))
+    print(f"  mutator: {result.mutator_s:.1f}s  GC: {result.gc_s:.1f}s "
+          f"({result.minor_gcs} minor / {result.major_gcs} major)")
+    for device, parts in result.energy_by_device.items():
+        print(f"  {device} energy: static {parts['static_j']:.1f} J, "
+              f"dynamic {parts['dynamic_j']:.1f} J")
+    if result.analysis is not None:
+        print("  static tags: " + ", ".join(
+            f"{var}={tag.value if tag else 'untagged'}"
+            for var, tag in result.analysis.tags.items()
+        ))
+    print(f"  migrated RDDs: {result.migrated_rdds}, "
+          f"monitored calls: {result.monitored_calls}")
+    if args.gclog:
+        from repro.gc.gclog import render_log
+
+        for line in render_log(
+            result.context.collector.stats, result.elapsed_s, tail=args.gclog
+        ):
+            print("  " + line)
+    if args.export_json:
+        from repro.harness.export import results_to_json
+
+        with open(args.export_json, "w") as fh:
+            fh.write(results_to_json({args.workload: result}))
+        print(f"  wrote {args.export_json}")
+    if args.export_bandwidth:
+        from repro.harness.export import bandwidth_series_to_csv
+
+        with open(args.export_bandwidth, "w") as fh:
+            fh.write(bandwidth_series_to_csv(result))
+        print(f"  wrote {args.export_bandwidth}")
+    if args.verify:
+        from repro.heap.verify import verify_heap
+
+        problems = verify_heap(result.context.heap)
+        print(
+            "  heap verification: "
+            + ("consistent" if not problems else "; ".join(problems))
+        )
+        return 1 if problems else 0
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """``repro compare``: the three main policies side by side."""
+    policies = {
+        "dram-only": PolicyName.DRAM_ONLY,
+        "unmanaged": PolicyName.UNMANAGED,
+        "panthera": PolicyName.PANTHERA,
+    }
+    results = {}
+    for name, policy in policies.items():
+        config = paper_config(args.heap, args.ratio, policy, args.scale)
+        results[name] = run_experiment(
+            args.workload,
+            config,
+            scale=args.scale,
+            workload_kwargs=_workload_kwargs(args),
+        )
+        print(summarize(results[name]))
+    normalized = normalize_results(results, "dram-only")
+    rows = [
+        [name, values["time"], values["energy"]]
+        for name, values in normalized.items()
+    ]
+    print()
+    print(
+        format_markdown_table(
+            ["configuration", "time (norm.)", "energy (norm.)"], rows
+        )
+    )
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """``repro analyze``: show the §3 static analysis for a workload."""
+    spec = build_workload(args.workload, scale=args.scale, **_workload_kwargs(args))
+    analysis = analyze_program(spec.program)
+    print(f"{spec.name}: {spec.description}")
+    for var, tag in analysis.tags.items():
+        label = tag.value.upper() if tag else "untagged"
+        print(f"  {var:12s} -> {label:8s} {analysis.rationale[var]}")
+    if analysis.flipped:
+        print("  (all persisted RDDs were NVM: every tag flipped to DRAM)")
+    return 0
+
+
+def cmd_matrix(args) -> int:
+    """``repro matrix``: the full workload x policy matrix."""
+    from repro.harness.matrix import matrix_report, run_matrix
+
+    def progress(workload, policy):
+        print(f"  running {workload} [{policy.value}] ...", flush=True)
+
+    matrix = run_matrix(
+        scale=args.scale,
+        heap_gb=args.heap,
+        dram_ratio=args.ratio,
+        workloads=args.workloads,
+        progress=progress,
+    )
+    print()
+    print(matrix_report(matrix))
+    return 0
+
+
+def cmd_list(_args) -> int:
+    """``repro list``: the Table 4 workloads."""
+    for name in sorted(WORKLOADS):
+        spec = build_workload(name, scale=0.02)
+        print(f"  {name:5s} {spec.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Panthera (PLDI 2019) reproduction: run simulated "
+        "hybrid-memory experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one workload/configuration")
+    _add_common(run_parser)
+    run_parser.add_argument(
+        "--policy",
+        choices=sorted(_POLICY_CHOICES),
+        default="panthera",
+        help="placement policy",
+    )
+    run_parser.add_argument(
+        "--gclog",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the last N GC log lines",
+    )
+    run_parser.add_argument(
+        "--export-json", metavar="PATH", help="write the result as JSON"
+    )
+    run_parser.add_argument(
+        "--export-bandwidth",
+        metavar="PATH",
+        help="write the Figure 8 bandwidth series as CSV",
+    )
+    run_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="verify heap invariants after the run",
+    )
+    run_parser.set_defaults(fn=cmd_run)
+
+    compare_parser = sub.add_parser(
+        "compare", help="run DRAM-only / unmanaged / Panthera side by side"
+    )
+    _add_common(compare_parser)
+    compare_parser.set_defaults(fn=cmd_compare)
+
+    analyze_parser = sub.add_parser(
+        "analyze", help="show the §3 static analysis for a workload"
+    )
+    _add_common(analyze_parser)
+    analyze_parser.set_defaults(fn=cmd_analyze)
+
+    list_parser = sub.add_parser("list", help="list the Table 4 workloads")
+    list_parser.set_defaults(fn=cmd_list)
+
+    matrix_parser = sub.add_parser(
+        "matrix", help="run the full workload x policy matrix"
+    )
+    matrix_parser.add_argument("--heap", type=float, default=64.0)
+    matrix_parser.add_argument("--ratio", type=float, default=1 / 3)
+    matrix_parser.add_argument("--scale", type=float, default=0.1)
+    matrix_parser.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="subset of PR KM LR TC CC SSSP BC (default: all)",
+    )
+    matrix_parser.set_defaults(fn=cmd_matrix)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Cluster-scale projection of single-node GC behaviour.
+
+The paper runs a two-node cluster but argues the stakes grow with scale
+(§5.2): "a GC run on a single node can hold up the entire cluster — when
+a node requests a data partition from another server that is running GC,
+the requesting node cannot do anything until the GC is done ... we
+expect Panthera to provide even greater benefit when Spark is executed
+on a large NVM cluster."
+
+This package turns that argument into a model: given one simulated
+node's pause timeline, project the synchronised-stage slowdown of a
+K-node cluster and show how each policy's GC profile amplifies with K.
+"""
+
+from repro.cluster.projection import ClusterProjection, project_cluster
+
+__all__ = ["ClusterProjection", "project_cluster"]

@@ -1,0 +1,31 @@
+"""Panthera's core contribution: static tag inference, lineage-based tag
+propagation, the runtime tag-passing API and the dynamic access monitor.
+
+The GC-side half of Panthera (eager promotion, split old generation,
+card padding) lives in :mod:`repro.gc` as the ``PANTHERA`` placement
+policy; this package holds everything that *produces* the semantic
+information the GC consumes.
+
+Only leaf modules are re-exported here; import
+:mod:`repro.core.static_analysis` and
+:mod:`repro.core.lineage_propagation` directly (they depend on the
+Spark IR).
+"""
+
+from repro.core.monitor import AccessMonitor
+from repro.core.tags import (
+    MEMORY_BITS_DRAM,
+    MEMORY_BITS_NONE,
+    MEMORY_BITS_NVM,
+    MemoryTag,
+    merge_tags,
+)
+
+__all__ = [
+    "AccessMonitor",
+    "MemoryTag",
+    "MEMORY_BITS_DRAM",
+    "MEMORY_BITS_NONE",
+    "MEMORY_BITS_NVM",
+    "merge_tags",
+]

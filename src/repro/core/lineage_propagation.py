@@ -1,0 +1,60 @@
+"""Backward tag propagation over the lineage graph (§3, "Dealing with
+ShuffledRDD").
+
+ShuffledRDDs are materialised stage inputs that never appear in the user
+program, so the static analysis cannot tag them.  At the beginning of
+each stage, Panthera scans the lineage graph backward from the lowest
+materialised RDD that received a tag and propagates that tag to the
+untagged RDDs of the same stage — in particular to the stage's
+ShuffledRDD inputs, so the objects they share with their descendants are
+never placed inconsistently.  Conflicts resolve as DRAM > NVM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.tags import MemoryTag, merge_tags
+from repro.spark.rdd import RDD, NarrowDependency, ShuffledRDD
+
+
+def propagate_tags(
+    terminal: RDD,
+    tag: MemoryTag,
+    assignments: Dict[int, Optional[MemoryTag]],
+) -> Dict[int, Optional[MemoryTag]]:
+    """Propagate ``tag`` backward from ``terminal`` through its stage.
+
+    The walk follows narrow dependencies upward, stops at persisted RDDs
+    (they carry their own statically-inferred tag) and at ShuffledRDD
+    stage inputs (which receive the tag but are not crossed — the RDDs
+    behind a shuffle belong to a previous stage).
+
+    Args:
+        terminal: the materialised RDD whose tag seeds the propagation.
+        tag: the seed tag.
+        assignments: the runtime rdd-id -> tag map, updated in place with
+            DRAM > NVM conflict resolution.
+
+    Returns:
+        The updated ``assignments`` map.
+    """
+    assignments[terminal.id] = merge_tags(assignments.get(terminal.id), tag)
+    stack = [terminal]
+    seen = {terminal.id}
+    while stack:
+        node = stack.pop()
+        for dep in node.deps:
+            parent = dep.parent
+            if not isinstance(dep, NarrowDependency):
+                continue  # never cross a shuffle into the previous stage
+            if parent.id in seen:
+                continue
+            seen.add(parent.id)
+            if parent.persist_level is not None and parent is not terminal:
+                continue  # persisted RDDs keep their own static tag
+            assignments[parent.id] = merge_tags(assignments.get(parent.id), tag)
+            if isinstance(parent, ShuffledRDD):
+                continue  # the stage input: tag it, stop walking
+            stack.append(parent)
+    return assignments

@@ -1,0 +1,65 @@
+"""The collection driver: triggers, headroom guarantees and entry points.
+
+The driver enforces the invariant the scavenge relies on: before a minor
+GC runs, the old generation has enough free room for the worst case
+promotion (every survivable young object tenured at once).  When it does
+not, a full collection runs first — the same policy HotSpot applies with
+its "promotion guarantee".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.monitor import AccessMonitor
+from repro.gc.major import run_major_gc
+from repro.gc.minor import run_minor_gc
+from repro.gc.policies import PlacementPolicy
+from repro.gc.stats import GCStats
+from repro.heap.managed_heap import ManagedHeap
+from repro.memory.machine import Machine
+
+
+class Collector:
+    """Owns the GC phases and their statistics for one heap."""
+
+    def __init__(
+        self,
+        heap: ManagedHeap,
+        machine: Machine,
+        policy: PlacementPolicy,
+        stats: Optional[GCStats] = None,
+        monitor: Optional[AccessMonitor] = None,
+    ) -> None:
+        self.heap = heap
+        self.machine = machine
+        self.policy = policy
+        self.config = heap.config
+        self.stats = stats or GCStats()
+        self.monitor = monitor
+        #: minor GCs since the last full GC — a proxy for how much
+        #: mutator time the current monitoring cycle covers.
+        self.minors_since_major = 0
+        heap.collector = self
+
+    def _promotion_upper_bound(self) -> int:
+        """Worst-case bytes a scavenge could promote right now."""
+        survivable = sum(o.size for o in self.heap.eden.objects)
+        survivable += sum(o.size for o in self.heap.survivor_from.objects)
+        return survivable
+
+    def old_free_bytes(self) -> int:
+        """Free bytes across all old spaces."""
+        return sum(s.free for s in self.heap.old_spaces)
+
+    def collect_minor(self) -> None:
+        """Run one minor collection, with the promotion guarantee."""
+        if self.old_free_bytes() < self._promotion_upper_bound():
+            self.collect_major()
+        run_minor_gc(self)
+        self.minors_since_major += 1
+
+    def collect_major(self) -> None:
+        """Run one full-heap collection."""
+        run_major_gc(self)
+        self.minors_since_major = 0

@@ -1,0 +1,53 @@
+"""JVM-style GC log rendering.
+
+Turns the collector's pause records into the familiar
+``-verbose:gc``-flavoured lines, so runs can be eyeballed the way JVM
+engineers eyeball real GC logs::
+
+    [0.412s][GC (Allocation Failure) minor pause 12.3ms]
+    [3.870s][Full GC (Ergonomics) pause 181.0ms]
+    ...
+    GC summary: 184 minor (2.31s), 4 major (0.72s), total 3.03s (21.4%)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.gc.stats import GCStats
+
+
+def format_pause(kind: str, start_ns: float, duration_ns: float) -> str:
+    """One log line for one collection."""
+    start_s = start_ns / 1e9
+    pause_ms = duration_ns / 1e6
+    if kind == "minor":
+        return f"[{start_s:.3f}s][GC (Allocation Failure) minor pause {pause_ms:.1f}ms]"
+    return f"[{start_s:.3f}s][Full GC (Ergonomics) pause {pause_ms:.1f}ms]"
+
+
+def iter_log_lines(stats: GCStats) -> Iterator[str]:
+    """All pause lines, in chronological order."""
+    for kind, start_ns, duration_ns in stats.pauses:
+        yield format_pause(kind, start_ns, duration_ns)
+
+
+def summary_line(stats: GCStats, elapsed_s: float) -> str:
+    """The closing summary line."""
+    share = 100.0 * stats.total_gc_s / elapsed_s if elapsed_s else 0.0
+    return (
+        f"GC summary: {stats.minor_count} minor ({stats.minor_ns / 1e9:.2f}s), "
+        f"{stats.major_count} major ({stats.major_ns / 1e9:.2f}s), "
+        f"total {stats.total_gc_s:.2f}s ({share:.1f}%)"
+    )
+
+
+def render_log(stats: GCStats, elapsed_s: float, tail: int = 0) -> List[str]:
+    """The full log (optionally only the last ``tail`` pauses) plus the
+    summary line."""
+    lines = list(iter_log_lines(stats))
+    if tail and len(lines) > tail:
+        skipped = len(lines) - tail
+        lines = [f"... ({skipped} earlier collections elided)"] + lines[-tail:]
+    lines.append(summary_line(stats, elapsed_s))
+    return lines

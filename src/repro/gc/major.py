@@ -1,0 +1,175 @@
+"""The major collection: full-heap mark, sweep, per-space compaction and
+Panthera's dynamic migration (§4.2.2).
+
+Compaction never crosses the DRAM/NVM boundary — each old space is
+compacted within itself, exactly the guarantee the paper adds to the
+Parallel Scavenge full GC.  After compaction, the migration plan produced
+by the placement policy is applied: under Panthera, RDD arrays whose
+monitored call frequency says they are mis-placed move between the DRAM
+and NVM components (together with their reachable data objects); under
+Kingsguard-Writes, write-hot objects move into the DRAM region.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.errors import GCError
+from repro.heap.object_model import HEADER_BYTES, HeapObject
+from repro.memory.machine import TrafficSet
+from repro.gc.minor import _charge_trace, _gc_processing_ns, _propagate_tag
+
+
+def run_major_gc(collector) -> None:
+    """Execute one full-heap collection on behalf of ``collector``."""
+    heap = collector.heap
+    machine = collector.machine
+    config = collector.config
+    policy = collector.policy
+    stats = collector.stats
+    monitor = collector.monitor
+
+    start_ns = machine.clock.now_ns
+    # Marking and moving (compaction / promotion / migration) are charged
+    # as two serialized batches: moving starts only after the mark.
+    mark_traffic = TrafficSet()
+    move_traffic = TrafficSet()
+    traffic = mark_traffic
+
+    # Phase 1: mark.  Full trace over both generations.
+    visited: Set[HeapObject] = set()
+    stack = list(heap.iter_roots())
+    while stack:
+        obj = stack.pop()
+        if obj in visited:
+            continue
+        visited.add(obj)
+        _charge_trace(traffic, obj)
+        for child in obj.refs:
+            _propagate_tag(obj, child)
+            if child not in visited:
+                stack.append(child)
+
+    # Phase 2: sweep the old generation.
+    for space in heap.old_spaces:
+        dead = [obj for obj in space.objects if obj not in visited]
+        for obj in dead:
+            space.objects.discard(obj)
+            if heap.card_table.is_registered(obj):
+                heap.card_table.unregister(obj)
+            obj.space = None
+            obj.addr = None
+
+    # Phase 3: evacuate the young generation.  A full GC tenures every
+    # survivor; tagged objects land in the space their MEMORY_BITS name.
+    live_young = [
+        obj
+        for space in heap.young_spaces
+        for obj in sorted(space.objects, key=lambda o: o.oid)
+        if obj in visited
+    ]
+    for space in heap.young_spaces:
+        space.reset()
+
+    # Phase 4: compact each old space in place (never across the
+    # DRAM/NVM boundary).  Like PSParallelCompact, a *dense prefix* is
+    # left untouched: objects at the bottom of the space with little dead
+    # space beneath them are not worth moving, which is what keeps stable
+    # persisted RDDs from being rewritten (on NVM!) at every full GC.
+    traffic = move_traffic
+    for space in heap.old_spaces:
+        live = list(space.iter_objects_by_addr())
+        space.objects.clear()
+        space.top = space.base
+        waste_budget = int(space.size * config.dense_prefix_waste)
+        sliding = False
+        for obj in live:
+            old_addr = obj.addr
+            assert old_addr is not None
+            if not sliding and old_addr - space.top <= waste_budget:
+                # Dense prefix: keep the object in place, accept the gap.
+                space.top = old_addr + obj.size
+                if obj.padded:
+                    remainder = space.top % config.card_size
+                    if remainder:
+                        space.top += config.card_size - remainder
+                space.objects.add(obj)
+                continue
+            sliding = True
+            old_pieces = space.traffic_split(old_addr, obj.size)
+            align = (
+                config.card_size
+                if (heap.card_padding and obj.is_array)
+                else None
+            )
+            if not space.place(obj, align_end_to=align):
+                raise GCError(f"compaction overflowed space {space.name}")
+            obj.padded = align is not None
+            if obj.addr != old_addr:
+                for device, nbytes in old_pieces:
+                    traffic.add(device, read_bytes=nbytes)
+                for device, nbytes in space.object_traffic(obj):
+                    traffic.add(device, write_bytes=nbytes)
+                stats.compacted_bytes += obj.size
+        for obj in space.objects:
+            if obj.is_array:
+                # Addresses may have changed: refresh the card-table span.
+                heap.card_table.register(obj)
+
+    # Now promote the young survivors into the compacted old spaces.
+    for obj in live_young:
+        dest = policy.promotion_space(heap, obj)
+        for device, nbytes in [(heap.eden.device, obj.size)]:
+            traffic.add(device, read_bytes=nbytes)
+        if not heap._place_in_old(obj, dest):
+            raise GCError("full GC could not tenure a young survivor")
+        for device, nbytes in obj.space.object_traffic(obj):
+            traffic.add(device, write_bytes=nbytes)
+        stats.promoted_bytes += obj.size
+        obj.age = 0
+
+    # Phase 5: dynamic migration (§4.2.2).
+    moves = policy.plan_migrations(heap, monitor)
+    for obj, dst_space in moves:
+        if obj not in visited or obj.space is dst_space:
+            continue
+        src_pieces = obj.space.object_traffic(obj)
+        was_registered = heap.card_table.is_registered(obj)
+        if was_registered:
+            heap.card_table.unregister(obj)
+        align = (
+            config.card_size if (heap.card_padding and obj.is_array) else None
+        )
+        if not dst_space.place(obj, align_end_to=align):
+            continue  # destination filled up; skip the rest of the group
+        for device, nbytes in src_pieces:
+            traffic.add(device, read_bytes=nbytes)
+        for device, nbytes in dst_space.object_traffic(obj):
+            traffic.add(device, write_bytes=nbytes)
+        if obj.is_array:
+            heap.card_table.register(obj)
+            if obj.rdd_id is not None:
+                stats.migrated_rdd_ids.add(obj.rdd_id)
+        stats.migrated_object_count += 1
+
+    # Phase 6: housekeeping.  Every card is cleaned; write counters and
+    # RDD call frequencies start a new cycle; old objects age one major
+    # cycle (dynamic migration only re-assesses full-cycle survivors).
+    heap.card_table.clear_all()
+    for space in heap.old_spaces:
+        for obj in space.objects:
+            obj.write_count = 0
+            obj.age += 1
+            if any(heap.in_young(c) for c in obj.refs):
+                raise GCError("old-to-young reference survived a full GC")
+    if monitor is not None:
+        monitor.reset()
+
+    machine.clock.advance(config.gc_fixed_pause_ns)
+    for batch in (mark_traffic, move_traffic):
+        machine.run_batch(
+            batch.per_device,
+            threads=config.gc_threads,
+            cpu_ns=_gc_processing_ns(batch, config),
+        )
+    stats.record_major(start_ns, machine.clock.now_ns - start_ns)

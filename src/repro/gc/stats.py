@@ -1,0 +1,96 @@
+"""GC statistics: pause accounting and the counters behind Figure 5 and
+Table 5."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+
+@dataclass
+class GCStats:
+    """Cumulative collector statistics for one run.
+
+    Attributes:
+        minor_count / major_count: number of collections.
+        minor_ns / major_ns: total pause time per kind.
+        copied_bytes: bytes evacuated within the young generation.
+        promoted_bytes: bytes moved young -> old.
+        eager_promoted_objects: objects promoted via Panthera's eager path.
+        card_scanned_bytes: bytes read while scanning dirty cards.
+        stuck_rescans: objects rescanned because of shared dirty cards.
+        compacted_bytes: bytes slid during major-GC compaction.
+        migrated_rdd_ids: RDDs moved by dynamic migration (Table 5).
+        migrated_object_count: objects moved by dynamic migration.
+        pauses: (kind, start_ns, duration_ns) per collection.
+    """
+
+    minor_count: int = 0
+    major_count: int = 0
+    minor_ns: float = 0.0
+    major_ns: float = 0.0
+    copied_bytes: int = 0
+    promoted_bytes: int = 0
+    eager_promoted_objects: int = 0
+    card_scanned_bytes: int = 0
+    stuck_rescans: int = 0
+    compacted_bytes: int = 0
+    migrated_rdd_ids: Set[int] = field(default_factory=set)
+    migrated_object_count: int = 0
+    pauses: List[Tuple[str, float, float]] = field(default_factory=list)
+
+    def record_minor(self, start_ns: float, duration_ns: float) -> None:
+        """Account one minor collection."""
+        self.minor_count += 1
+        self.minor_ns += duration_ns
+        self.pauses.append(("minor", start_ns, duration_ns))
+
+    def record_major(self, start_ns: float, duration_ns: float) -> None:
+        """Account one major collection."""
+        self.major_count += 1
+        self.major_ns += duration_ns
+        self.pauses.append(("major", start_ns, duration_ns))
+
+    @property
+    def total_gc_ns(self) -> float:
+        """Total GC pause time in nanoseconds."""
+        return self.minor_ns + self.major_ns
+
+    @property
+    def total_gc_s(self) -> float:
+        """Total GC pause time in seconds (Figure 5's GC bars)."""
+        return self.total_gc_ns / 1e9
+
+    @property
+    def migrated_rdd_count(self) -> int:
+        """Number of distinct RDDs dynamically migrated (Table 5)."""
+        return len(self.migrated_rdd_ids)
+
+    def pause_percentile(self, fraction: float, kind: str = None) -> float:
+        """A pause-duration percentile in milliseconds.
+
+        Args:
+            fraction: percentile in [0, 1] (0.99 = p99).
+            kind: restrict to "minor" or "major" pauses (default: all).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("percentile fraction must be in [0, 1]")
+        durations = sorted(
+            duration
+            for pause_kind, _, duration in self.pauses
+            if kind is None or pause_kind == kind
+        )
+        if not durations:
+            return 0.0
+        index = min(len(durations) - 1, int(fraction * len(durations)))
+        return durations[index] / 1e6
+
+    def max_pause_ms(self) -> float:
+        """The worst pause of the run, in milliseconds."""
+        return self.pause_percentile(1.0)
+
+    def mean_pause_ms(self) -> float:
+        """Mean pause duration in milliseconds."""
+        if not self.pauses:
+            return 0.0
+        return sum(d for _, _, d in self.pauses) / len(self.pauses) / 1e6

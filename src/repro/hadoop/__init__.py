@@ -1,0 +1,19 @@
+"""A Hadoop-style MapReduce substrate driven by Panthera's public APIs.
+
+Section 4.3 of the paper argues the runtime system generalises beyond
+Spark: "the APIs for data placement and migration provided by the
+Panthera runtime system can be employed to manage memory for any Big
+Data system that uses a key-value array as its backbone data structure.
+Examples include Apache Hadoop, Apache Flink, or database systems such
+as Apache Cassandra."
+
+This package is that claim as working code: a miniature MapReduce engine
+whose in-memory tables are placed through §4.3's API 1 (pre-tenuring by
+tag) and API 2 (dynamic call monitoring + major-GC migration), including
+the paper's HashJoin walkthrough.
+"""
+
+from repro.hadoop.hashjoin import HashJoin
+from repro.hadoop.mapreduce import MapReduceJob, SideTable
+
+__all__ = ["HashJoin", "MapReduceJob", "SideTable"]

@@ -1,0 +1,231 @@
+"""A miniature MapReduce engine over the simulated heap.
+
+The engine models Hadoop's memory behaviour the way §4.3 describes it:
+map workers stream their input split through the young generation (the
+records die there), optional *side tables* are long-lived in-memory
+structures placed via Panthera's API 1 or monitored via API 2, and the
+reduce phase hash-aggregates the shuffled output.
+
+Data really flows: map/combine/reduce functions compute actual results,
+so jobs are testable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.config import DeviceKind
+from repro.core.runtime_api import PantheraRuntime
+from repro.core.tags import MemoryTag
+from repro.errors import ReproError
+from repro.heap.managed_heap import ManagedHeap
+from repro.heap.object_model import HeapObject
+from repro.memory.machine import Machine
+
+Record = Tuple[Any, Any]
+
+#: Mutator cost constants (per byte / per record), matching the Spark
+#: layer's granularity.
+CPU_NS_PER_BYTE = 8.0
+CPU_NS_PER_RECORD = 2_000.0
+ALLOC_FACTOR = 5.0
+HASH_GRAIN = 4_096
+
+
+@dataclass
+class SideTable:
+    """A long-lived in-memory table a job loads before its map phase.
+
+    Attributes:
+        name: identifier (also the monitor key).
+        records: the data plane (key -> value built at load time).
+        nbytes: byte weight of the table.
+        tag: placement tag for API 1 pre-tenuring; None defers placement
+            to API 2 dynamic monitoring.
+        monitored: register with API 2 (track + per-probe call counts).
+    """
+
+    name: str
+    records: List[Record]
+    nbytes: int
+    tag: Optional[MemoryTag] = None
+    monitored: bool = False
+    #: set at load time
+    array: Optional[HeapObject] = None
+    index: Dict[Any, List[Any]] = field(default_factory=dict)
+
+    def lookup(self, key: Any) -> List[Any]:
+        """Probe the table."""
+        return self.index.get(key, [])
+
+
+class MapReduceJob:
+    """One MapReduce job with optional Panthera-managed side tables."""
+
+    _owner_ids = iter(range(10_000, 10_000_000))
+
+    def __init__(
+        self,
+        heap: ManagedHeap,
+        machine: Machine,
+        runtime: PantheraRuntime,
+        map_fn: Callable[[Record], List[Record]],
+        reduce_fn: Callable[[Any, List[Any]], Any],
+        num_reducers: int = 4,
+        side_tables: Optional[List[SideTable]] = None,
+        mutator_threads: int = 8,
+    ) -> None:
+        self.heap = heap
+        self.machine = machine
+        self.runtime = runtime
+        self.map_fn = map_fn
+        self.reduce_fn = reduce_fn
+        self.num_reducers = num_reducers
+        self.side_tables = side_tables or []
+        self.threads = mutator_threads
+        self._table_owner: Dict[str, int] = {}
+
+    # -- side tables (§4.3's two APIs) -------------------------------------
+
+    def load_side_tables(self) -> None:
+        """Materialise every side table into the heap.
+
+        Tables with a tag go through API 1 (``place_array``); monitored
+        tables additionally register with API 2 so major GCs can
+        re-assess them.
+        """
+        for table in self.side_tables:
+            owner = next(self._owner_ids)
+            self._table_owner[table.name] = owner
+            table.array = self.runtime.place_array(
+                table.nbytes, table.tag, owner_id=owner
+            )
+            self.heap.add_root(table.array)
+            if table.monitored:
+                self.runtime.track(owner)
+            device = table.array.space.device_of(table.array.addr)
+            self.machine.access(
+                device,
+                write_bytes=table.nbytes,
+                threads=self.threads,
+                cpu_ns=table.nbytes * CPU_NS_PER_BYTE / self.threads,
+            )
+            table.index.clear()
+            for key, value in table.records:
+                table.index.setdefault(key, []).append(value)
+
+    def release_side_tables(self) -> None:
+        """Drop the side tables (end of job)."""
+        for table in self.side_tables:
+            if table.array is not None:
+                self.heap.remove_root(table.array)
+                table.array = None
+
+    def _charge_probe(self, table: SideTable, nbytes: float) -> None:
+        """One map task's probes into a side table."""
+        if table.array is None:
+            raise ReproError(f"side table {table.name!r} not loaded")
+        probes = max(1, int(nbytes / HASH_GRAIN))
+        device = table.array.space.device_of(table.array.addr)
+        self.machine.access(device, random_reads=probes, threads=self.threads)
+        owner = self._table_owner[table.name]
+        if table.monitored:
+            self.runtime.record_call(owner)
+
+    # -- execution --------------------------------------------------------------
+
+    def run(
+        self,
+        splits: List[List[Record]],
+        bytes_per_record: float,
+    ) -> Dict[Any, Any]:
+        """Execute the job and return the reduced output.
+
+        Args:
+            splits: input splits (one per map task).
+            bytes_per_record: byte weight of one input record.
+        """
+        if not splits:
+            raise ReproError("a job needs at least one input split")
+        self.load_side_tables()
+        try:
+            buckets: List[List[Record]] = [[] for _ in range(self.num_reducers)]
+            for split in splits:
+                self._run_map_task(split, bytes_per_record, buckets)
+            output: Dict[Any, Any] = {}
+            for bucket in buckets:
+                self._run_reduce_task(bucket, bytes_per_record, output)
+            return output
+        finally:
+            self.release_side_tables()
+
+    def _run_map_task(
+        self,
+        split: List[Record],
+        bytes_per_record: float,
+        buckets: List[List[Record]],
+    ) -> None:
+        in_bytes = len(split) * bytes_per_record
+        # Input read from HDFS (disk) into the young generation.
+        self.machine.access(
+            DeviceKind.DISK,
+            read_bytes=in_bytes,
+            threads=self.threads,
+            cpu_ns=in_bytes * CPU_NS_PER_BYTE / self.threads,
+        )
+        self._ephemeral(in_bytes)
+        out: List[Record] = []
+        for record in split:
+            out.extend(self.map_fn(record))
+        out_bytes = len(out) * bytes_per_record
+        self._ephemeral(out_bytes)
+        self.machine.access(
+            DeviceKind.DRAM,
+            write_bytes=out_bytes,
+            threads=self.threads,
+            cpu_ns=(
+                in_bytes * CPU_NS_PER_BYTE + len(split) * CPU_NS_PER_RECORD
+            )
+            / self.threads,
+        )
+        for table in self.side_tables:
+            self._charge_probe(table, in_bytes)
+        for key, value in out:
+            buckets[hash(key) % self.num_reducers].append((key, value))
+        # Shuffle spill to local disk.
+        self.machine.access(
+            DeviceKind.DISK, write_bytes=out_bytes * 0.4, threads=self.threads
+        )
+
+    def _run_reduce_task(
+        self,
+        bucket: List[Record],
+        bytes_per_record: float,
+        output: Dict[Any, Any],
+    ) -> None:
+        in_bytes = len(bucket) * bytes_per_record
+        self.machine.access(
+            DeviceKind.DISK, read_bytes=in_bytes * 0.4, threads=self.threads
+        )
+        self._ephemeral(in_bytes)
+        grouped: Dict[Any, List[Any]] = {}
+        for key, value in bucket:
+            grouped.setdefault(key, []).append(value)
+        self.machine.access(
+            DeviceKind.DRAM,
+            random_reads=max(1, int(in_bytes / HASH_GRAIN)),
+            threads=self.threads,
+            cpu_ns=(in_bytes * CPU_NS_PER_BYTE + len(bucket) * CPU_NS_PER_RECORD)
+            / self.threads,
+        )
+        for key, values in grouped.items():
+            output[key] = self.reduce_fn(key, values)
+
+    def _ephemeral(self, nbytes: float) -> None:
+        remaining = int(nbytes * ALLOC_FACTOR)
+        chunk = max(1, self.heap.eden.size // 4)
+        while remaining > 0:
+            take = min(remaining, chunk)
+            self.heap.allocate_ephemeral(take)
+            remaining -= take

@@ -1,0 +1,22 @@
+"""Experiment harness: run a workload under a configuration and collect
+the metrics the paper's figures report."""
+
+from repro.harness.configs import (
+    fig2c_configs,
+    fig4_configs,
+    grid_configs,
+    paper_config,
+)
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.report import format_markdown_table, normalize_results
+
+__all__ = [
+    "ExperimentResult",
+    "fig2c_configs",
+    "fig4_configs",
+    "format_markdown_table",
+    "grid_configs",
+    "normalize_results",
+    "paper_config",
+    "run_experiment",
+]

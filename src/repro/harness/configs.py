@@ -1,0 +1,91 @@
+"""The paper's system configurations (§5.2).
+
+Two heap sizes (64 GB and 120 GB), three DRAM shares (1/4, 1/3 and
+DRAM-only), and the policy set {DRAM-only, unmanaged, Panthera, KN, KW}.
+A joint ``scale`` parameter shrinks heaps alongside datasets so the
+pressure *ratios* — which is what the figures' shapes depend on — are
+preserved at laptop-friendly sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import PolicyName, SystemConfig, dram_only_config, hybrid_config
+
+#: The nursery fraction the paper settled on (§5.2).
+NURSERY_FRACTION = 1.0 / 6.0
+
+
+def paper_config(
+    heap_gb: float,
+    dram_ratio: float,
+    policy: PolicyName,
+    scale: float = 1.0,
+    **kwargs,
+) -> SystemConfig:
+    """One configuration, scaled.
+
+    ``dram_ratio == 1.0`` (or the DRAM_ONLY policy) yields the DRAM-only
+    baseline; anything else splits physical memory ``dram_ratio`` /
+    ``1 - dram_ratio`` between DRAM and NVM.
+    """
+    scaled_heap = heap_gb * scale
+    kwargs.setdefault("nursery_fraction", NURSERY_FRACTION)
+    kwargs.setdefault(
+        "interleave_chunk_bytes", max(1, int(1 * (1024**3) * scale))
+    )
+    kwargs.setdefault("large_array_threshold", max(1, int((1024**2) * scale)))
+    kwargs.setdefault("static_energy_factor", 1.0 / scale)
+    if policy is PolicyName.DRAM_ONLY or dram_ratio >= 1.0:
+        return dram_only_config(scaled_heap, **kwargs)
+    return hybrid_config(scaled_heap, dram_ratio, policy=policy, **kwargs)
+
+
+def fig4_configs(scale: float = 1.0) -> Dict[str, SystemConfig]:
+    """Figure 4/5: 64 GB heap, DRAM ratio 1/3."""
+    return {
+        "dram-only": paper_config(64, 1.0, PolicyName.DRAM_ONLY, scale),
+        "unmanaged": paper_config(64, 1 / 3, PolicyName.UNMANAGED, scale),
+        "panthera": paper_config(64, 1 / 3, PolicyName.PANTHERA, scale),
+    }
+
+
+def grid_configs(scale: float = 1.0) -> Dict[str, SystemConfig]:
+    """Figures 6/7: two heaps x two DRAM ratios, plus their baselines."""
+    configs: Dict[str, SystemConfig] = {}
+    for heap_gb in (64, 120):
+        configs[f"{heap_gb}gb-dram-only"] = paper_config(
+            heap_gb, 1.0, PolicyName.DRAM_ONLY, scale
+        )
+        for ratio, label in ((1 / 4, "quarter"), (1 / 3, "third")):
+            for policy in (PolicyName.UNMANAGED, PolicyName.PANTHERA):
+                key = f"{heap_gb}gb-{label}-{policy.value}"
+                configs[key] = paper_config(heap_gb, ratio, policy, scale)
+    return configs
+
+
+def fig2c_configs(scale: float = 1.0) -> Dict[str, SystemConfig]:
+    """Figure 2(c): PageRank on 32 GB DRAM, 32+88 GB hybrid (unmanaged and
+    Panthera), normalised to 120 GB DRAM-only."""
+    ratio = 32.0 / 120.0
+    return {
+        "120gb-dram": paper_config(120, 1.0, PolicyName.DRAM_ONLY, scale),
+        "32gb-dram": paper_config(32, 1.0, PolicyName.DRAM_ONLY, scale),
+        "hybrid-unmanaged": paper_config(120, ratio, PolicyName.UNMANAGED, scale),
+        "hybrid-panthera": paper_config(120, ratio, PolicyName.PANTHERA, scale),
+    }
+
+
+def write_rationing_configs(scale: float = 1.0) -> Dict[str, SystemConfig]:
+    """The Write Rationing baselines (§5.2): KN and KW at 64 GB, 1/3."""
+    return {
+        "dram-only": paper_config(64, 1.0, PolicyName.DRAM_ONLY, scale),
+        "kingsguard-nursery": paper_config(
+            64, 1 / 3, PolicyName.KINGSGUARD_NURSERY, scale
+        ),
+        "kingsguard-writes": paper_config(
+            64, 1 / 3, PolicyName.KINGSGUARD_WRITES, scale
+        ),
+        "panthera": paper_config(64, 1 / 3, PolicyName.PANTHERA, scale),
+    }

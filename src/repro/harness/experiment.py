@@ -1,0 +1,136 @@
+"""Running one (workload, configuration) experiment end to end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.config import DeviceKind, PolicyName, SystemConfig
+from repro.core.static_analysis import StaticAnalysis, analyze_program
+from repro.memory.machine import Machine
+from repro.spark.context import SparkContext
+from repro.spark.costmodel import MutatorCosts
+from repro.spark.program import execute_program
+from repro.workloads.registry import build_workload
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one run produces.
+
+    Attributes:
+        workload: Table 4 abbreviation.
+        policy: the placement policy that ran.
+        heap_gb: heap size in GB.
+        dram_ratio: DRAM share of physical memory.
+        elapsed_s: total simulated wall time.
+        gc_s: total GC pause time (Figure 5's upper bars).
+        mutator_s: elapsed minus GC (Figure 5's computation bars).
+        minor_gcs / major_gcs: collection counts.
+        energy_j: total memory energy.
+        energy_by_device: per-device {"static_j", "dynamic_j"}.
+        monitored_calls: Table 5 column 2.
+        migrated_rdds: Table 5 column 3.
+        spilled_blocks / dropped_blocks: block-manager pressure events.
+        card_scanned_gb / stuck_rescans: card-table behaviour (§4.2.3).
+        action_results: the workload's actual outputs (for validation).
+        analysis: the static analysis result (Panthera runs only).
+        context: the live SparkContext when ``keep_context`` was set.
+    """
+
+    workload: str
+    policy: PolicyName
+    heap_gb: float
+    dram_ratio: float
+    elapsed_s: float
+    gc_s: float
+    mutator_s: float
+    minor_gcs: int
+    major_gcs: int
+    energy_j: float
+    energy_by_device: Dict[str, Dict[str, float]]
+    monitored_calls: int
+    migrated_rdds: int
+    spilled_blocks: int
+    dropped_blocks: int
+    card_scanned_gb: float
+    stuck_rescans: int
+    action_results: Dict[str, Any] = field(default_factory=dict)
+    analysis: Optional[StaticAnalysis] = None
+    context: Optional[SparkContext] = None
+
+
+def run_experiment(
+    workload: str,
+    config: SystemConfig,
+    scale: float = 1.0,
+    costs: Optional[MutatorCosts] = None,
+    workload_kwargs: Optional[Dict[str, Any]] = None,
+    bandwidth_window_ns: float = 1e9,
+    keep_context: bool = False,
+) -> ExperimentResult:
+    """Run one workload under one configuration.
+
+    Args:
+        workload: Table 4 abbreviation (PR, KM, LR, TC, CC, SSSP, BC).
+        config: the node configuration (heap, DRAM/NVM split, policy).
+        scale: joint data-size scale factor; configurations should be
+            built with the same scale so pressure ratios match the paper.
+        costs: mutator cost-model overrides.
+        workload_kwargs: forwarded to the workload builder.
+        bandwidth_window_ns: Figure 8 trace resolution.
+        keep_context: retain the full context on the result (heavier, but
+            needed for bandwidth traces and heap inspection).
+    """
+    spec = build_workload(workload, scale=scale, **(workload_kwargs or {}))
+    ctx = SparkContext.create(
+        config, costs=costs, bandwidth_window_ns=bandwidth_window_ns
+    )
+    analysis: Optional[StaticAnalysis] = None
+    tags: Dict[str, Any] = {}
+    if ctx.panthera_enabled:
+        analysis = analyze_program(spec.program)
+        tags = analysis.tags
+    action_results = execute_program(spec.program, ctx, tags)
+    return _collect(spec.name, config, ctx, action_results, analysis, keep_context)
+
+
+def _collect(
+    name: str,
+    config: SystemConfig,
+    ctx: SparkContext,
+    action_results: Dict[str, Any],
+    analysis: Optional[StaticAnalysis],
+    keep_context: bool,
+) -> ExperimentResult:
+    machine: Machine = ctx.machine
+    stats = ctx.collector.stats
+    elapsed = machine.elapsed_s
+    gc_s = stats.total_gc_s
+    energy_by_device = {
+        kind.value: {"static_j": b.static_j, "dynamic_j": b.dynamic_j}
+        for kind, b in machine.energy_breakdown().items()
+        if kind is not DeviceKind.DISK
+    }
+    return ExperimentResult(
+        workload=name,
+        policy=config.policy,
+        heap_gb=config.heap_bytes / (1024**3),
+        dram_ratio=config.dram_ratio,
+        elapsed_s=elapsed,
+        gc_s=gc_s,
+        mutator_s=elapsed - gc_s,
+        minor_gcs=stats.minor_count,
+        major_gcs=stats.major_count,
+        energy_j=machine.energy_j(),
+        energy_by_device=energy_by_device,
+        monitored_calls=ctx.monitor.total_calls if ctx.monitor else 0,
+        migrated_rdds=stats.migrated_rdd_count,
+        spilled_blocks=ctx.block_manager.spilled_count,
+        dropped_blocks=ctx.block_manager.dropped_count,
+        card_scanned_gb=stats.card_scanned_bytes / (1024**3),
+        stuck_rescans=stats.stuck_rescans,
+        action_results=action_results,
+        analysis=analysis,
+        context=ctx if keep_context else None,
+    )

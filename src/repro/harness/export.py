@@ -1,0 +1,116 @@
+"""Exporting experiment results for external plotting.
+
+The benchmarks print markdown; downstream users plotting with
+matplotlib/gnuplot want machine-readable series. This module flattens
+:class:`~repro.harness.experiment.ExperimentResult` objects to plain
+dicts, serialises batches of results to JSON or CSV, and dumps the
+Figure 8 bandwidth series of a kept context.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Mapping, Optional
+
+from repro.config import DeviceKind
+from repro.harness.experiment import ExperimentResult
+
+#: The scalar fields exported for every run, in column order.
+SCALAR_FIELDS = [
+    "workload",
+    "policy",
+    "heap_gb",
+    "dram_ratio",
+    "elapsed_s",
+    "mutator_s",
+    "gc_s",
+    "minor_gcs",
+    "major_gcs",
+    "energy_j",
+    "monitored_calls",
+    "migrated_rdds",
+    "spilled_blocks",
+    "dropped_blocks",
+    "card_scanned_gb",
+    "stuck_rescans",
+]
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, object]:
+    """Flatten one result to JSON-safe scalars."""
+    row: Dict[str, object] = {}
+    for field in SCALAR_FIELDS:
+        value = getattr(result, field)
+        row[field] = value.value if field == "policy" else value
+    for device, parts in result.energy_by_device.items():
+        row[f"{device}_static_j"] = parts["static_j"]
+        row[f"{device}_dynamic_j"] = parts["dynamic_j"]
+    if result.analysis is not None:
+        row["tags"] = {
+            var: (tag.value if tag else None)
+            for var, tag in result.analysis.tags.items()
+        }
+    return row
+
+
+def results_to_json(
+    results: Mapping[str, ExperimentResult], indent: Optional[int] = 2
+) -> str:
+    """Serialise a keyed batch of results to JSON."""
+    payload = {key: result_to_dict(r) for key, r in results.items()}
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def results_to_csv(results: Mapping[str, ExperimentResult]) -> str:
+    """Serialise a keyed batch of results to CSV (one row per run)."""
+    rows = []
+    columns = ["key"] + SCALAR_FIELDS
+    extra: List[str] = []
+    for key, result in results.items():
+        row = result_to_dict(result)
+        row.pop("tags", None)
+        row["key"] = key
+        for column in row:
+            if column not in columns and column not in extra:
+                extra.append(column)
+        rows.append(row)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns + sorted(extra))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def bandwidth_series_to_csv(result: ExperimentResult) -> str:
+    """Figure 8's series as CSV: time_s, device, direction, gbps.
+
+    Requires a result produced with ``keep_context=True``.
+    """
+    if result.context is None:
+        raise ValueError("bandwidth export needs keep_context=True")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["time_s", "device", "direction", "gbps"])
+    bw = result.context.machine.bandwidth
+    for device in (DeviceKind.DRAM, DeviceKind.NVM):
+        for is_write, label in ((False, "read"), (True, "write")):
+            for sample in bw.series(device, is_write):
+                writer.writerow(
+                    [f"{sample.time_s:.3f}", device.value, label, f"{sample.gbps:.4f}"]
+                )
+    return buffer.getvalue()
+
+
+def gc_pauses_to_csv(result: ExperimentResult) -> str:
+    """The GC pause timeline as CSV (requires ``keep_context=True``)."""
+    if result.context is None:
+        raise ValueError("pause export needs keep_context=True")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["kind", "start_s", "pause_ms"])
+    for kind, start_ns, duration_ns in result.context.collector.stats.pauses:
+        writer.writerow([kind, f"{start_ns / 1e9:.4f}", f"{duration_ns / 1e6:.3f}"])
+    return buffer.getvalue()

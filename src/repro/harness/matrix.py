@@ -1,0 +1,80 @@
+"""The full workload x policy matrix in one call.
+
+``run_matrix`` is the "give me everything" entry point: every Table 4
+program under every requested policy at one configuration point,
+returned as a nested dict and renderable as one markdown report — the
+programmatic equivalent of running the whole benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.config import PolicyName, SystemConfig
+from repro.harness.configs import paper_config
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.report import format_markdown_table
+from repro.workloads.registry import WORKLOADS
+
+DEFAULT_POLICIES = (
+    PolicyName.DRAM_ONLY,
+    PolicyName.UNMANAGED,
+    PolicyName.PANTHERA,
+)
+
+
+def run_matrix(
+    scale: float = 0.1,
+    heap_gb: float = 64,
+    dram_ratio: float = 1 / 3,
+    workloads: Optional[Iterable[str]] = None,
+    policies: Iterable[PolicyName] = DEFAULT_POLICIES,
+    progress=None,
+) -> Dict[str, Dict[str, ExperimentResult]]:
+    """Run every (workload, policy) combination.
+
+    Args:
+        scale: joint data/heap scale.
+        heap_gb / dram_ratio: the configuration point.
+        workloads: Table 4 abbreviations (default: all seven).
+        policies: placement policies to compare.
+        progress: optional callback ``fn(workload, policy)`` invoked
+            before each run (CLI progress reporting).
+
+    Returns:
+        ``{workload: {policy value: result}}``.
+    """
+    chosen = list(workloads) if workloads else sorted(WORKLOADS)
+    out: Dict[str, Dict[str, ExperimentResult]] = {}
+    for workload in chosen:
+        row: Dict[str, ExperimentResult] = {}
+        for policy in policies:
+            if progress is not None:
+                progress(workload, policy)
+            config = paper_config(heap_gb, dram_ratio, policy, scale)
+            row[policy.value] = run_experiment(workload, config, scale=scale)
+        out[workload] = row
+    return out
+
+
+def matrix_report(
+    matrix: Dict[str, Dict[str, ExperimentResult]],
+    baseline: str = PolicyName.DRAM_ONLY.value,
+) -> str:
+    """Render a matrix as one normalised markdown table."""
+    headers = ["program"]
+    sample = next(iter(matrix.values()))
+    policies = [p for p in sample if p != baseline]
+    for policy in policies:
+        headers.extend([f"{policy} time", f"{policy} energy", f"{policy} GC"])
+    rows: List[List[object]] = []
+    for workload, results in matrix.items():
+        base = results[baseline]
+        row: List[object] = [workload]
+        for policy in policies:
+            r = results[policy]
+            row.append(r.elapsed_s / base.elapsed_s)
+            row.append(r.energy_j / base.energy_j)
+            row.append(r.gc_s / base.gc_s if base.gc_s else 0.0)
+        rows.append(row)
+    return format_markdown_table(headers, rows)

@@ -1,0 +1,16 @@
+"""The managed heap: object model, spaces, allocator, card table, barrier.
+
+This package simulates the OpenJDK 8 Parallel Scavenge heap that Panthera
+modifies: an eden plus two survivor semi-spaces form the young generation
+(always DRAM-resident), and the old generation is one or two spaces whose
+device backing depends on the placement policy (split DRAM/NVM for
+Panthera, 1 GB-chunk interleaved for the unmanaged baseline, single-device
+for the others).
+"""
+
+from repro.heap.card_table import CardTable
+from repro.heap.managed_heap import ManagedHeap
+from repro.heap.object_model import HeapObject, ObjKind
+from repro.heap.spaces import Space
+
+__all__ = ["CardTable", "HeapObject", "ManagedHeap", "ObjKind", "Space"]

@@ -1,0 +1,66 @@
+"""Allocation paths: the eden fast path and the tag-wait slow path.
+
+Section 4.2.1 of the paper: an instrumented call to ``rdd_alloc(rdd, tag)``
+right before a materialisation point (1) stamps the RDD top object's
+MEMORY_BITS, and (2) puts the allocating thread into a *wait* state.  In
+that state, the first allocation request for an array larger than a
+threshold is recognised as the RDD's backbone array and is allocated
+directly into the space named by the tag; the state is then reset.
+:class:`TagWaitState` is that mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.tags import MemoryTag
+
+
+class TagWaitState:
+    """The per-thread "waiting for the RDD array" state of §4.2.1."""
+
+    def __init__(self, large_array_threshold: int) -> None:
+        if large_array_threshold <= 0:
+            raise ValueError("large_array_threshold must be positive")
+        self.large_array_threshold = large_array_threshold
+        self._pending: Optional[MemoryTag] = None
+        self._armed = False
+
+    def arm(self, tag: Optional[MemoryTag]) -> None:
+        """Enter the wait state with a pending tag.
+
+        A ``None`` tag still arms the state (the paper resets the state on
+        the next large allocation either way, keeping young-gen allocation
+        for untagged arrays).
+        """
+        self._pending = tag
+        self._armed = True
+
+    @property
+    def armed(self) -> bool:
+        """Whether the thread is waiting for an RDD array allocation."""
+        return self._armed
+
+    @property
+    def pending_tag(self) -> Optional[MemoryTag]:
+        """The tag that will be applied to the next large array."""
+        return self._pending
+
+    def consume_for_array(self, size: int) -> Optional[MemoryTag]:
+        """Called on every array allocation while armed.
+
+        Returns:
+            The pending tag if this allocation is large enough to be
+            recognised as the RDD array (also resetting the state);
+            None otherwise.
+        """
+        if not self._armed or size < self.large_array_threshold:
+            return None
+        tag = self._pending
+        self.reset()
+        return tag
+
+    def reset(self) -> None:
+        """Leave the wait state."""
+        self._pending = None
+        self._armed = False

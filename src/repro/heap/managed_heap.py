@@ -1,0 +1,236 @@
+"""The managed heap facade: allocation, roots, barrier, GC triggering.
+
+This is the object the rest of the system talks to.  It owns the young
+generation, the policy-built old spaces, the card table and the tag-wait
+allocator state, and it delegates collections to the attached collector
+(two-phase initialisation, since the collector also needs the heap).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Set
+
+from repro.config import SystemConfig
+from repro.core.tags import MemoryTag
+from repro.errors import HeapError, OutOfMemoryError
+from repro.heap.allocator import TagWaitState
+from repro.heap.layout import build_native_space, build_young_spaces
+from repro.heap.card_table import CardTable
+from repro.heap.object_model import HeapObject, ObjKind
+from repro.heap.spaces import Space
+from repro.memory.machine import Machine
+
+
+class ManagedHeap:
+    """The simulated JVM heap.
+
+    Attributes:
+        config: system configuration.
+        machine: the simulated machine costs are charged to.
+        eden, survivor_from, survivor_to: young generation spaces (DRAM).
+        old_spaces: policy-built old generation spaces.
+        native: the off-heap NVM region.
+        card_table: dirty-card tracking for old-generation objects.
+        tag_wait: the §4.2.1 "waiting for the RDD array" state.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        machine: Machine,
+        old_spaces: List[Space],
+        card_padding: bool,
+    ) -> None:
+        self.config = config
+        self.machine = machine
+        (
+            self.eden,
+            self.survivor_from,
+            self.survivor_to,
+            next_base,
+        ) = build_young_spaces(config)
+        expected_old = sum(s.size for s in old_spaces)
+        if expected_old > config.old_gen_bytes + config.interleave_chunk_bytes:
+            raise HeapError("old spaces exceed the configured old generation")
+        self.old_spaces = list(old_spaces)
+        for space in self.old_spaces:
+            if space.base < next_base:
+                raise HeapError(f"old space {space.name} overlaps the young gen")
+        native_base = max((s.end for s in self.old_spaces), default=next_base)
+        self.native = build_native_space(config, native_base)
+        self.card_table = CardTable(config.card_size)
+        self.card_padding = card_padding
+        self.tag_wait = TagWaitState(config.large_array_threshold)
+        self._roots: Set[HeapObject] = set()
+        #: set post-construction; must provide collect_minor()/collect_major()
+        self.collector = None
+        #: optional callback invoked on every mutator ref write (KW barrier)
+        self.write_barrier_hook: Optional[Callable[[HeapObject], None]] = None
+
+    # -- space queries -----------------------------------------------------
+
+    @property
+    def young_spaces(self) -> List[Space]:
+        """Eden plus the two survivor semi-spaces."""
+        return [self.eden, self.survivor_from, self.survivor_to]
+
+    def old_space_named(self, name: str) -> Space:
+        """Look up an old space by name."""
+        for space in self.old_spaces:
+            if space.name == name:
+                return space
+        raise HeapError(f"no old space named {name!r}")
+
+    def in_young(self, obj: HeapObject) -> bool:
+        """Whether the object currently resides in the young generation."""
+        return obj.space is not None and obj.space.generation == "young"
+
+    def in_old(self, obj: HeapObject) -> bool:
+        """Whether the object currently resides in the old generation."""
+        return obj.space is not None and obj.space.generation == "old"
+
+    def old_used_bytes(self) -> int:
+        """Bytes bump-allocated across all old spaces."""
+        return sum(s.used for s in self.old_spaces)
+
+    def old_capacity_bytes(self) -> int:
+        """Total old generation capacity."""
+        return sum(s.size for s in self.old_spaces)
+
+    # -- roots ---------------------------------------------------------------
+
+    def add_root(self, obj: HeapObject) -> None:
+        """Register a GC root (driver variable, persisted block, ...)."""
+        self._roots.add(obj)
+
+    def remove_root(self, obj: HeapObject) -> None:
+        """Unregister a GC root."""
+        self._roots.discard(obj)
+
+    def iter_roots(self) -> Iterable[HeapObject]:
+        """All current roots, in allocation order (deterministic)."""
+        return sorted(self._roots, key=lambda o: o.oid)
+
+    def is_root(self, obj: HeapObject) -> bool:
+        """Whether the object is currently a root."""
+        return obj in self._roots
+
+    # -- allocation ------------------------------------------------------------
+
+    def _require_collector(self):
+        if self.collector is None:
+            raise HeapError("no collector attached to the heap")
+        return self.collector
+
+    def allocate_ephemeral(self, nbytes: int) -> None:
+        """Bump-allocate short-lived streaming bytes in eden.
+
+        No :class:`HeapObject` is created — streaming tuples die before the
+        next collection ever traces them — but the bytes fill eden and
+        therefore drive minor-GC frequency exactly like real allocation.
+        """
+        if nbytes < 0:
+            raise HeapError("negative ephemeral allocation")
+        if nbytes > self.eden.size:
+            raise HeapError(
+                f"ephemeral allocation of {nbytes} exceeds eden "
+                f"({self.eden.size}); chunk the request"
+            )
+        if self.eden.allocate(nbytes) is None:
+            self._require_collector().collect_minor()
+            if self.eden.allocate(nbytes) is None:
+                raise OutOfMemoryError("eden full even after a minor GC")
+
+    def new_object(
+        self,
+        kind: ObjKind,
+        size: int,
+        rdd_id: Optional[int] = None,
+    ) -> HeapObject:
+        """Allocate a survivable object in eden (the TLAB fast path)."""
+        obj = HeapObject(kind, size, rdd_id=rdd_id)
+        if size > self.eden.size:
+            raise HeapError(
+                f"object of {size} bytes cannot fit in eden; use "
+                "allocate_rdd_array for large arrays"
+            )
+        if not self.eden.place(obj):
+            self._require_collector().collect_minor()
+            if not self.eden.place(obj):
+                raise OutOfMemoryError("eden full even after a minor GC")
+        return obj
+
+    def allocate_rdd_array(self, size: int, rdd_id: Optional[int]) -> HeapObject:
+        """Allocate an RDD backbone array.
+
+        If the tag-wait state is armed (``rdd_alloc`` ran) and the array
+        exceeds the recognition threshold, the array goes straight into
+        the old space chosen by the policy for its tag (Table 1).  An
+        untagged array below the recognition threshold starts in the
+        young generation like any object (Table 1's NONE row); larger
+        untagged arrays are humongous allocations that go old directly.
+        """
+        collector = self._require_collector()
+        tag = self.tag_wait.consume_for_array(size)
+        obj = HeapObject(ObjKind.RDD_ARRAY, size, rdd_id=rdd_id)
+        if tag is not None:
+            obj.set_tag(tag)
+        elif size < self.config.large_array_threshold and size <= self.eden.size:
+            if not self.eden.place(obj):
+                collector.collect_minor()
+                if not self.eden.place(obj):
+                    raise OutOfMemoryError("eden full even after a minor GC")
+            return obj
+        for attempt in range(2):
+            space = collector.policy.array_allocation_space(self, tag, size)
+            if self._place_in_old(obj, space):
+                return obj
+            if attempt == 0:
+                collector.collect_major()
+        raise OutOfMemoryError(
+            f"cannot place a {size}-byte RDD array in the old generation"
+        )
+
+    def _place_in_old(self, obj: HeapObject, space: Space) -> bool:
+        """Place an object in an old space, falling back across old spaces
+        in policy order, registering arrays with the card table."""
+        candidates = [space] + [s for s in self.old_spaces if s is not space]
+        align = self.config.card_size if (self.card_padding and obj.is_array) else None
+        for candidate in candidates:
+            if candidate.place(obj, align_end_to=align):
+                obj.padded = align is not None
+                if obj.is_array:
+                    self.card_table.register(obj)
+                return True
+        return False
+
+    # -- mutator barrier ----------------------------------------------------------
+
+    def write_ref(self, holder: HeapObject, target: HeapObject) -> None:
+        """Store a reference ``holder.field = target`` through the write
+        barrier: old-to-young stores dirty the holder's cards."""
+        holder.add_ref(target)
+        holder.write_count += 1
+        if self.write_barrier_hook is not None:
+            self.write_barrier_hook(holder)
+        if self.in_old(holder) and self.in_young(target):
+            if not self.card_table.is_registered(holder):
+                self.card_table.register(holder)
+            self.card_table.mark_dirty(holder)
+
+    def write_data(self, obj: HeapObject, writes: int = 1) -> None:
+        """Record mutator data writes into an object (no card dirtying:
+        only reference stores go through the card-marking barrier)."""
+        obj.write_count += writes
+        if self.write_barrier_hook is not None:
+            self.write_barrier_hook(obj)
+
+    # -- stats -----------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable snapshot of space occupancy (debugging aid)."""
+        lines = [
+            f"{s.name}: {s.used}/{s.size} bytes, {len(s.objects)} objects"
+            for s in self.young_spaces + self.old_spaces
+        ]
+        return "\n".join(lines)

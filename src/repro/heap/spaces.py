@@ -1,0 +1,173 @@
+"""Heap spaces: contiguous address ranges with bump-pointer allocation.
+
+Young-generation spaces (eden and the two survivor semi-spaces) are always
+DRAM-backed.  Old-generation spaces are either homogeneous (Panthera's
+DRAM and NVM components, Kingsguard's NVM space) or device-heterogeneous
+via a :class:`~repro.memory.interleave.ChunkMap` (the unmanaged baseline's
+1 GB-chunk interleaving).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.config import DeviceKind
+from repro.errors import HeapError
+from repro.heap.object_model import HeapObject
+from repro.memory.interleave import ChunkMap
+
+
+class Space:
+    """One contiguous region of the simulated heap.
+
+    Attributes:
+        name: human-readable identifier ("eden", "old-nvm", ...).
+        base: first address.
+        size: capacity in bytes.
+        generation: "young", "old" or "native".
+        device: backing device for homogeneous spaces (None if chunked).
+        chunk_map: address->device map for heterogeneous spaces.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base: int,
+        size: int,
+        generation: str,
+        device: Optional[DeviceKind] = None,
+        chunk_map: Optional[ChunkMap] = None,
+    ) -> None:
+        if size < 0:
+            raise HeapError(f"space {name} has negative size")
+        if (device is None) == (chunk_map is None):
+            raise HeapError(
+                f"space {name} needs exactly one of device / chunk_map"
+            )
+        self.name = name
+        self.base = base
+        self.size = size
+        self.generation = generation
+        self.device = device
+        self.chunk_map = chunk_map
+        self.top = base
+        self.objects: Set[HeapObject] = set()
+
+    # -- capacity --------------------------------------------------------
+
+    @property
+    def end(self) -> int:
+        """One past the last address of the space."""
+        return self.base + self.size
+
+    @property
+    def used(self) -> int:
+        """Bytes allocated since the last reset."""
+        return self.top - self.base
+
+    @property
+    def free(self) -> int:
+        """Bytes still available."""
+        return self.end - self.top
+
+    def contains(self, addr: int) -> bool:
+        """Whether ``addr`` falls inside this space."""
+        return self.base <= addr < self.end
+
+    # -- allocation ------------------------------------------------------
+
+    def allocate(self, nbytes: int, align_end_to: Optional[int] = None) -> Optional[int]:
+        """Bump-allocate ``nbytes``; optionally pad so the allocation's end
+        lands on an ``align_end_to`` boundary (Panthera's card padding,
+        §4.2.3).
+
+        Returns:
+            The address, or None if the space cannot fit the request.
+        """
+        if nbytes < 0:
+            raise HeapError("cannot allocate a negative size")
+        addr = self.top
+        end = addr + nbytes
+        if align_end_to:
+            remainder = end % align_end_to
+            if remainder:
+                end += align_end_to - remainder
+        if end > self.end:
+            return None
+        self.top = end
+        return addr
+
+    def place(self, obj: HeapObject, align_end_to: Optional[int] = None) -> bool:
+        """Allocate room for ``obj`` here and update its location fields.
+
+        Returns:
+            True on success, False when the space is full.
+        """
+        addr = self.allocate(obj.size, align_end_to=align_end_to)
+        if addr is None:
+            return False
+        if obj.space is not None and obj in obj.space.objects:
+            obj.space.objects.discard(obj)
+        obj.addr = addr
+        obj.space = self
+        self.objects.add(obj)
+        return True
+
+    def reset(self) -> None:
+        """Empty the space (used for eden / from-space after a scavenge).
+
+        Objects still registered here are dead: their location fields are
+        cleared so any lingering reference to them is visibly a reference
+        to garbage (``obj.space is None``), never a stale young-gen
+        residency.
+        """
+        for obj in self.objects:
+            obj.space = None
+            obj.addr = None
+        self.top = self.base
+        self.objects.clear()
+
+    # -- device resolution -------------------------------------------------
+
+    def device_of(self, addr: int) -> DeviceKind:
+        """Backing device of one address."""
+        if self.device is not None:
+            return self.device
+        assert self.chunk_map is not None
+        return self.chunk_map.device_of(addr)
+
+    def traffic_split(self, addr: int, nbytes: int) -> List[Tuple[DeviceKind, int]]:
+        """Split a byte range into per-device pieces for cost charging."""
+        if self.device is not None:
+            return [(self.device, nbytes)] if nbytes else []
+        assert self.chunk_map is not None
+        return self.chunk_map.split_range(addr, nbytes)
+
+    def object_traffic(self, obj: HeapObject) -> List[Tuple[DeviceKind, int]]:
+        """Per-device byte pieces of one resident object's payload."""
+        if obj.addr is None:
+            raise HeapError(f"object {obj!r} has no address")
+        return self.traffic_split(obj.addr, obj.size)
+
+    def live_bytes(self) -> int:
+        """Total payload bytes of objects currently registered here."""
+        return sum(o.size for o in self.objects)
+
+    def device_histogram(self) -> Dict[DeviceKind, int]:
+        """Payload bytes per backing device for the resident objects."""
+        hist: Dict[DeviceKind, int] = {}
+        for obj in self.objects:
+            for device, nbytes in self.object_traffic(obj):
+                hist[device] = hist.get(device, 0) + nbytes
+        return hist
+
+    def iter_objects_by_addr(self) -> Iterable[HeapObject]:
+        """Objects in address order (compaction order)."""
+        return sorted(self.objects, key=lambda o: o.addr or 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        backing = self.device.value if self.device else "chunked"
+        return (
+            f"<Space {self.name} [{self.base:#x}, {self.end:#x}) {backing} "
+            f"used={self.used}/{self.size}>"
+        )

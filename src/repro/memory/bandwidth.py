@@ -1,0 +1,107 @@
+"""Windowed per-device bandwidth traces.
+
+Figure 8 of the paper plots DRAM and NVM read/write bandwidth over the run
+of GraphX-CC.  Each bulk access in the simulation deposits its bytes into
+fixed-width time windows here; :meth:`BandwidthTracker.series` then yields
+(time, GB/s) points per device and direction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.config import DeviceKind
+
+
+@dataclass(frozen=True)
+class BandwidthSample:
+    """One point of a bandwidth time series.
+
+    Attributes:
+        time_s: window start, in simulated seconds.
+        gbps: average bandwidth over the window, in GB/s.
+    """
+
+    time_s: float
+    gbps: float
+
+
+class BandwidthTracker:
+    """Accumulates bytes moved per (device, direction) into time windows."""
+
+    def __init__(self, window_ns: float = 1e9) -> None:
+        """Create a tracker.
+
+        Args:
+            window_ns: window width in nanoseconds (default one second).
+        """
+        if window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+        self.window_ns = window_ns
+        # (device, is_write) -> {window index -> bytes}
+        self._bins: Dict[Tuple[DeviceKind, bool], Dict[int, float]] = defaultdict(
+            lambda: defaultdict(float)
+        )
+
+    def record(
+        self,
+        device: DeviceKind,
+        is_write: bool,
+        nbytes: float,
+        start_ns: float,
+        duration_ns: float,
+    ) -> None:
+        """Spread ``nbytes`` moved during [start, start+duration) over windows.
+
+        Long accesses are apportioned to every window they overlap so the
+        series shows sustained plateaus rather than spikes.
+        """
+        if nbytes <= 0:
+            return
+        bins = self._bins[(device, is_write)]
+        if duration_ns < 1.0:  # sub-nanosecond: effectively instantaneous
+            bins[int(start_ns // self.window_ns)] += nbytes
+            return
+        end_ns = start_ns + duration_ns
+        first = int(start_ns // self.window_ns)
+        last = int(end_ns // self.window_ns)
+        for idx in range(first, last + 1):
+            w_start = idx * self.window_ns
+            w_end = w_start + self.window_ns
+            overlap = min(end_ns, w_end) - max(start_ns, w_start)
+            if overlap > 0:
+                bins[idx] += nbytes * (overlap / duration_ns)
+
+    def series(self, device: DeviceKind, is_write: bool) -> List[BandwidthSample]:
+        """Return the bandwidth series for one device and direction.
+
+        Windows with no traffic between the first and last active window are
+        reported as zero so plots show gaps honestly.
+        """
+        bins = self._bins.get((device, is_write))
+        if not bins:
+            return []
+        first, last = min(bins), max(bins)
+        window_s = self.window_ns / 1e9
+        return [
+            BandwidthSample(
+                time_s=idx * window_s,
+                gbps=bins.get(idx, 0.0) / self.window_ns,  # bytes/ns == GB/s
+            )
+            for idx in range(first, last + 1)
+        ]
+
+    def peak_gbps(self, device: DeviceKind, is_write: bool) -> float:
+        """Peak windowed bandwidth for one device and direction."""
+        return max((s.gbps for s in self.series(device, is_write)), default=0.0)
+
+    def total_bytes(self, device: DeviceKind, is_write: bool) -> float:
+        """Total bytes moved on one device in one direction."""
+        bins = self._bins.get((device, is_write))
+        return sum(bins.values()) if bins else 0.0
+
+    def iter_keys(self) -> Iterator[Tuple[DeviceKind, bool]]:
+        """Iterate over (device, is_write) pairs that saw traffic."""
+        return iter(self._bins.keys())

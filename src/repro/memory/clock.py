@@ -1,0 +1,42 @@
+"""A simulated nanosecond clock.
+
+All time in the simulation is *charged*, never measured: mutator work and
+GC phases compute their cost from the device model and advance this clock.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated time in nanoseconds."""
+
+    def __init__(self) -> None:
+        self._now_ns: float = 0.0
+
+    @property
+    def now_ns(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now_ns / 1e9
+
+    def advance(self, ns: float) -> float:
+        """Advance the clock by ``ns`` nanoseconds and return the new time.
+
+        Args:
+            ns: non-negative duration to add.
+
+        Raises:
+            ValueError: if ``ns`` is negative.
+        """
+        if ns < 0:
+            raise ValueError(f"cannot advance the clock by {ns} ns")
+        self._now_ns += ns
+        return self._now_ns
+
+    def reset(self) -> None:
+        """Reset simulated time to zero."""
+        self._now_ns = 0.0

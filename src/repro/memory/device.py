@@ -1,0 +1,124 @@
+"""Memory device model: cost of bulk access batches plus traffic counters.
+
+A *batch* is the unit of cost in the simulation: "16 GC threads trace
+40 000 objects resident on NVM" or "8 mutator cores stream 10 GB out of
+DRAM".  Its duration is the maximum of three components:
+
+* a CPU component (work that would happen even with infinite memory),
+* a latency component: ``random_accesses x latency`` divided by the number
+  of threads times the per-thread memory-level parallelism, and
+* a bandwidth component: sequential bytes divided by the device's
+  sustained bandwidth (threads do not help here — the paper stresses that
+  Parallel Scavenge's 16 threads saturate NVM's 10 GB/s).
+
+This mirrors what the paper's NUMA emulator enforces: a 2.6x latency
+factor for latency-bound phases and a thermal-register bandwidth cap for
+throughput-bound phases (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import CACHE_LINE_BYTES, DeviceSpec
+
+
+@dataclass
+class AccessKind:
+    """Constants naming the two access directions."""
+
+    READ = False
+    WRITE = True
+
+
+@dataclass
+class TrafficCounters:
+    """Cumulative traffic on one device."""
+
+    read_bytes: float = 0.0
+    write_bytes: float = 0.0
+    random_reads: int = 0
+    random_writes: int = 0
+
+    @property
+    def read_lines(self) -> float:
+        """Cache lines read (for the energy model)."""
+        return self.read_bytes / CACHE_LINE_BYTES
+
+    @property
+    def write_lines(self) -> float:
+        """Cache lines written (for the energy model)."""
+        return self.write_bytes / CACHE_LINE_BYTES
+
+
+@dataclass
+class MemoryDevice:
+    """One memory technology instance with a capacity and counters.
+
+    Attributes:
+        spec: latency/bandwidth/energy parameters.
+        capacity_bytes: installed capacity (drives static power).
+    """
+
+    spec: DeviceSpec
+    capacity_bytes: int
+    counters: TrafficCounters = field(default_factory=TrafficCounters)
+
+    def batch_ns(
+        self,
+        read_bytes: float = 0.0,
+        write_bytes: float = 0.0,
+        random_reads: int = 0,
+        random_writes: int = 0,
+        threads: int = 1,
+        mlp: int = 1,
+    ) -> float:
+        """Duration in ns of a batch on this device, without recording it.
+
+        Args:
+            read_bytes: sequentially streamed bytes read.
+            write_bytes: sequentially streamed bytes written.
+            random_reads: latency-bound (pointer-chasing) read count.
+            random_writes: latency-bound write count.
+            threads: workers issuing the batch.
+            mlp: outstanding misses per worker.
+        """
+        parallelism = max(1, threads) * max(1, mlp)
+        latency_ns = (
+            random_reads * self.spec.read_latency_ns
+            + random_writes * self.spec.write_latency_ns
+        ) / parallelism
+        bandwidth_ns = (
+            read_bytes / self.spec.bytes_per_ns_read()
+            + write_bytes / self.spec.bytes_per_ns_write()
+        )
+        return max(latency_ns, bandwidth_ns)
+
+    def record(
+        self,
+        read_bytes: float = 0.0,
+        write_bytes: float = 0.0,
+        random_reads: int = 0,
+        random_writes: int = 0,
+    ) -> None:
+        """Add a batch's traffic to the counters.
+
+        Random (latency-bound) accesses also move one cache line each, so
+        they contribute to byte counters for the energy model.
+        """
+        self.counters.random_reads += random_reads
+        self.counters.random_writes += random_writes
+        self.counters.read_bytes += read_bytes + random_reads * CACHE_LINE_BYTES
+        self.counters.write_bytes += write_bytes + random_writes * CACHE_LINE_BYTES
+
+    def dynamic_energy_pj(self) -> float:
+        """Dynamic energy consumed so far, in pJ."""
+        return (
+            self.counters.read_lines * self.spec.read_energy_pj
+            + self.counters.write_lines * self.spec.write_energy_pj
+        )
+
+    def static_power_w(self) -> float:
+        """Background + refresh power for the installed capacity, in W."""
+        gb = self.capacity_bytes / (1024**3)
+        return gb * self.spec.static_mw_per_gb / 1e3

@@ -1,0 +1,88 @@
+"""Probabilistic chunked interleaving of DRAM and NVM (the *unmanaged*
+baseline, §5.2).
+
+The paper's strongest non-Panthera hybrid baseline divides the old
+generation's virtual address range into 1 GB chunks and maps each chunk to
+DRAM with probability equal to the system's DRAM ratio, and to NVM
+otherwise — "a common practice to utilize the combined bandwidth of DRAM
+and NVM".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.config import DeviceKind
+
+
+class ChunkMap:
+    """Deterministic random mapping of an address range onto DRAM/NVM chunks."""
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        chunk_bytes: int,
+        dram_probability: float,
+        seed: int = 42,
+    ) -> None:
+        """Create the mapping.
+
+        Args:
+            base: first address of the mapped range.
+            size: length of the mapped range in bytes.
+            chunk_bytes: chunk granularity (paper: 1 GB).
+            dram_probability: probability that a chunk is DRAM-backed.
+            seed: RNG seed, so a configuration is reproducible.
+        """
+        if size <= 0 or chunk_bytes <= 0:
+            raise ValueError("size and chunk_bytes must be positive")
+        if not 0.0 <= dram_probability <= 1.0:
+            raise ValueError("dram_probability must be in [0, 1]")
+        self.base = base
+        self.size = size
+        self.chunk_bytes = chunk_bytes
+        rng = random.Random(seed)
+        n_chunks = (size + chunk_bytes - 1) // chunk_bytes
+        self._chunks: List[DeviceKind] = [
+            DeviceKind.DRAM if rng.random() < dram_probability else DeviceKind.NVM
+            for _ in range(n_chunks)
+        ]
+
+    def device_of(self, addr: int) -> DeviceKind:
+        """Device backing the chunk that contains ``addr``."""
+        if not self.base <= addr < self.base + self.size:
+            raise ValueError(f"address {addr:#x} outside the mapped range")
+        return self._chunks[(addr - self.base) // self.chunk_bytes]
+
+    def split_range(self, addr: int, length: int) -> List[tuple]:
+        """Split ``[addr, addr+length)`` into per-device contiguous pieces.
+
+        Returns:
+            List of ``(DeviceKind, nbytes)`` pairs in address order; useful
+            for charging a large array that straddles chunk boundaries.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        pieces = []
+        pos = addr
+        end = addr + length
+        while pos < end:
+            device = self.device_of(pos)
+            chunk_end = self.base + (
+                ((pos - self.base) // self.chunk_bytes) + 1
+            ) * self.chunk_bytes
+            take = min(end, chunk_end) - pos
+            if pieces and pieces[-1][0] is device:
+                pieces[-1] = (device, pieces[-1][1] + take)
+            else:
+                pieces.append((device, take))
+            pos += take
+        return pieces
+
+    def dram_fraction(self) -> float:
+        """Realised fraction of chunks mapped to DRAM."""
+        if not self._chunks:
+            return 0.0
+        return sum(c is DeviceKind.DRAM for c in self._chunks) / len(self._chunks)

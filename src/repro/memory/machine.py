@@ -1,0 +1,230 @@
+"""The simulated machine: clock + devices + bandwidth traces + energy.
+
+Every cost in the simulation flows through :meth:`Machine.run_batch`:
+the heap allocator, the GC phases and the Spark mutator all describe
+their work as per-device traffic, and the machine converts that into
+elapsed nanoseconds (devices operate concurrently, so a phase touching
+both DRAM and NVM takes the maximum of the two device times) and into
+counter updates that later feed the energy model and Figure 8's
+bandwidth series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.config import (
+    DISK_SPEC,
+    DRAM_SPEC,
+    NVM_SPEC,
+    DeviceKind,
+    SystemConfig,
+)
+from repro.memory.bandwidth import BandwidthTracker
+from repro.memory.clock import SimClock
+from repro.memory.device import MemoryDevice
+from repro.memory.energy import EnergyMeter
+
+
+@dataclass
+class Traffic:
+    """Traffic issued to one device within a batch."""
+
+    read_bytes: float = 0.0
+    write_bytes: float = 0.0
+    random_reads: int = 0
+    random_writes: int = 0
+
+    def merged(self, other: "Traffic") -> "Traffic":
+        """Return the sum of two traffic descriptions."""
+        return Traffic(
+            read_bytes=self.read_bytes + other.read_bytes,
+            write_bytes=self.write_bytes + other.write_bytes,
+            random_reads=self.random_reads + other.random_reads,
+            random_writes=self.random_writes + other.random_writes,
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no traffic is described."""
+        return (
+            self.read_bytes == 0
+            and self.write_bytes == 0
+            and self.random_reads == 0
+            and self.random_writes == 0
+        )
+
+
+@dataclass
+class TrafficSet:
+    """A mutable batch of per-device traffic, built up by GC phases."""
+
+    per_device: Dict[DeviceKind, Traffic] = field(default_factory=dict)
+
+    def add(
+        self,
+        device: DeviceKind,
+        read_bytes: float = 0.0,
+        write_bytes: float = 0.0,
+        random_reads: int = 0,
+        random_writes: int = 0,
+    ) -> None:
+        """Accumulate traffic for ``device``."""
+        current = self.per_device.setdefault(device, Traffic())
+        current.read_bytes += read_bytes
+        current.write_bytes += write_bytes
+        current.random_reads += random_reads
+        current.random_writes += random_writes
+
+
+class Machine:
+    """One simulated node: devices sized per the configuration.
+
+    Attributes:
+        config: the system configuration.
+        clock: simulated time.
+        devices: DRAM, NVM and DISK device models.
+        bandwidth: windowed traces for Figure 8.
+    """
+
+    def __init__(
+        self, config: SystemConfig, bandwidth_window_ns: float = 1e9
+    ) -> None:
+        self.config = config
+        self.clock = SimClock()
+        nvm_spec = NVM_SPEC
+        if config.nvm_latency_factor != 1.0 or config.nvm_bandwidth_factor != 1.0:
+            import dataclasses
+
+            nvm_spec = dataclasses.replace(
+                NVM_SPEC,
+                read_latency_ns=NVM_SPEC.read_latency_ns
+                * config.nvm_latency_factor,
+                write_latency_ns=NVM_SPEC.write_latency_ns
+                * config.nvm_latency_factor,
+                read_bandwidth_gbps=NVM_SPEC.read_bandwidth_gbps
+                * config.nvm_bandwidth_factor,
+                write_bandwidth_gbps=NVM_SPEC.write_bandwidth_gbps
+                * config.nvm_bandwidth_factor,
+            )
+        self.devices: Dict[DeviceKind, MemoryDevice] = {
+            DeviceKind.DRAM: MemoryDevice(DRAM_SPEC, config.dram_bytes),
+            DeviceKind.NVM: MemoryDevice(nvm_spec, config.nvm_bytes),
+            DeviceKind.DISK: MemoryDevice(DISK_SPEC, 0),
+        }
+        self.bandwidth = BandwidthTracker(window_ns=bandwidth_window_ns)
+        self._energy = EnergyMeter(
+            self.devices, static_factor=config.static_energy_factor
+        )
+
+    # -- cost charging ---------------------------------------------------
+
+    def run_batch(
+        self,
+        traffic: Mapping[DeviceKind, Traffic],
+        threads: int = 1,
+        mlp: Optional[int] = None,
+        cpu_ns: float = 0.0,
+    ) -> float:
+        """Charge a batch of concurrent per-device traffic.
+
+        Args:
+            traffic: traffic description per device; devices proceed in
+                parallel, so batch time is the max over devices (and the
+                CPU component).
+            threads: worker count for latency-bound components.
+            mlp: outstanding misses per worker (defaults to the config).
+            cpu_ns: pure-CPU time of the batch, already divided by however
+                many cores the caller runs on.
+
+        Returns:
+            The batch duration in nanoseconds (the clock is advanced).
+        """
+        effective_mlp = self.config.mlp if mlp is None else mlp
+        start_ns = self.clock.now_ns
+        duration = float(cpu_ns)
+        for kind, t in traffic.items():
+            if t.is_empty:
+                continue
+            device = self.devices[kind]
+            duration = max(
+                duration,
+                device.batch_ns(
+                    read_bytes=t.read_bytes,
+                    write_bytes=t.write_bytes,
+                    random_reads=t.random_reads,
+                    random_writes=t.random_writes,
+                    threads=threads,
+                    mlp=effective_mlp,
+                ),
+            )
+        for kind, t in traffic.items():
+            if t.is_empty:
+                continue
+            self.devices[kind].record(
+                read_bytes=t.read_bytes,
+                write_bytes=t.write_bytes,
+                random_reads=t.random_reads,
+                random_writes=t.random_writes,
+            )
+            read_total = t.read_bytes + t.random_reads * 64
+            write_total = t.write_bytes + t.random_writes * 64
+            self.bandwidth.record(kind, False, read_total, start_ns, duration)
+            self.bandwidth.record(kind, True, write_total, start_ns, duration)
+        self.clock.advance(duration)
+        return duration
+
+    def access(
+        self,
+        device: DeviceKind,
+        read_bytes: float = 0.0,
+        write_bytes: float = 0.0,
+        random_reads: int = 0,
+        random_writes: int = 0,
+        threads: int = 1,
+        mlp: Optional[int] = None,
+        cpu_ns: float = 0.0,
+    ) -> float:
+        """Charge a single-device batch (see :meth:`run_batch`)."""
+        return self.run_batch(
+            {
+                device: Traffic(
+                    read_bytes=read_bytes,
+                    write_bytes=write_bytes,
+                    random_reads=random_reads,
+                    random_writes=random_writes,
+                )
+            },
+            threads=threads,
+            mlp=mlp,
+            cpu_ns=cpu_ns,
+        )
+
+    def transfer(
+        self,
+        src: DeviceKind,
+        dst: DeviceKind,
+        nbytes: float,
+        threads: int = 1,
+    ) -> float:
+        """Charge a streamed copy of ``nbytes`` from ``src`` to ``dst``."""
+        traffic = TrafficSet()
+        traffic.add(src, read_bytes=nbytes)
+        traffic.add(dst, write_bytes=nbytes)
+        return self.run_batch(traffic.per_device, threads=threads)
+
+    # -- metrics ---------------------------------------------------------
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total simulated elapsed time in seconds."""
+        return self.clock.now_s
+
+    def energy_j(self) -> float:
+        """Total memory energy so far, in joules."""
+        return self._energy.total_j(self.elapsed_s)
+
+    def energy_breakdown(self):
+        """Per-device static/dynamic energy breakdown."""
+        return self._energy.breakdown(self.elapsed_s)

@@ -1,0 +1,17 @@
+"""A miniature Spark: lazy RDDs, lineage, stages, shuffles and persistence.
+
+Only what the paper's memory study needs is modelled, but it is modelled
+for real: transformations compute actual records (so PageRank really
+ranks pages), wide dependencies cut stages and produce materialised
+ShuffledRDDs, ``persist`` materialises RDDs into the simulated heap
+through the block manager, and every byte moved is charged to the
+hybrid-memory machine.
+
+Import :mod:`repro.spark.context` directly for the runtime entry point;
+this package re-exports only the leaf building blocks.
+"""
+
+from repro.spark.program import Program
+from repro.spark.storage import StorageLevel
+
+__all__ = ["Program", "StorageLevel"]

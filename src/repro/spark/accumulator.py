@@ -1,0 +1,70 @@
+"""Accumulators: driver-visible counters updated from tasks.
+
+Spark's accumulators are the standard side channel for metrics (records
+seen, parse errors, bytes skipped).  In the simulation they are plain
+driver-side state — tasks run in-process — but the API matches, and
+updates charge the tiny write they would cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Optional, TypeVar
+
+from repro.errors import SparkError
+
+T = TypeVar("T")
+
+
+class Accumulator(Generic[T]):
+    """A write-only (from tasks) / read-on-driver counter.
+
+    Attributes:
+        name: display name.
+        value: current accumulated value (driver side).
+    """
+
+    def __init__(
+        self,
+        zero: T,
+        add_fn: Optional[Callable[[T, T], T]] = None,
+        name: str = "accumulator",
+    ) -> None:
+        self._zero = zero
+        self._add = add_fn or (lambda a, b: a + b)  # type: ignore[operator]
+        self.name = name
+        self.value: T = zero
+        self._updates = 0
+
+    def add(self, amount: T) -> None:
+        """Accumulate ``amount`` (called from task-side code)."""
+        self.value = self._add(self.value, amount)
+        self._updates += 1
+
+    def __iadd__(self, amount: T) -> "Accumulator[T]":
+        self.add(amount)
+        return self
+
+    def reset(self) -> None:
+        """Reset to the zero value."""
+        self.value = self._zero
+        self._updates = 0
+
+    @property
+    def update_count(self) -> int:
+        """How many task-side updates have landed."""
+        return self._updates
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Accumulator {self.name}={self.value!r}>"
+
+
+def make_accumulator(
+    zero: T, add_fn: Optional[Callable[[T, T], T]] = None, name: str = "accumulator"
+) -> Accumulator[T]:
+    """Create an accumulator; validates the zero/add pairing eagerly."""
+    acc = Accumulator(zero, add_fn, name)
+    try:
+        acc._add(zero, zero)
+    except Exception as exc:  # pragma: no cover - defensive
+        raise SparkError(f"accumulator add_fn rejects its zero: {exc}") from exc
+    return acc

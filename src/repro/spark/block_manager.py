@@ -1,0 +1,164 @@
+"""The block manager: persisted-RDD registry, memory pressure and spilling.
+
+Persisted blocks are GC roots for as long as they stay in memory.  Under
+memory pressure the manager evicts least-recently-used blocks: levels
+with a disk component are serialised out (and later served from disk);
+MEMORY_ONLY blocks are dropped and recomputed through lineage on next
+access — both exactly Spark's behaviour, and both essential for the
+32 GB-heap point of Figure 2(c).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.config import DeviceKind
+from repro.heap.managed_heap import ManagedHeap
+from repro.memory.machine import Machine
+from repro.spark.costmodel import MutatorCosts
+from repro.spark.materialize import MaterializedBlock
+from repro.spark.storage import TaggedStorageLevel
+
+
+class BlockManager:
+    """Registry of persisted blocks with LRU spill/drop under pressure."""
+
+    #: Fraction of old-generation capacity kept free for promoted
+    #: intermediates (Spark's "execution memory" share, coarsely).
+    HEADROOM_FRACTION = 0.2
+
+    def __init__(
+        self,
+        heap: ManagedHeap,
+        machine: Machine,
+        costs: MutatorCosts,
+    ) -> None:
+        self.heap = heap
+        self.machine = machine
+        self.costs = costs
+        self._blocks: Dict[int, MaterializedBlock] = {}
+        self._lru = itertools.count(1)
+        #: rdd_id -> records retained on "disk" after a spill
+        self.spilled_count = 0
+        self.dropped_count = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, rdd_id: int) -> Optional[MaterializedBlock]:
+        """The block for an RDD, bumping its LRU clock."""
+        block = self._blocks.get(rdd_id)
+        if block is not None:
+            block.last_used = next(self._lru)
+        return block
+
+    def contains(self, rdd_id: int) -> bool:
+        """Whether a block (in memory or on disk) exists for the RDD."""
+        return rdd_id in self._blocks
+
+    def blocks(self) -> List[MaterializedBlock]:
+        """All registered blocks."""
+        return list(self._blocks.values())
+
+    def in_memory_bytes(self) -> float:
+        """Data bytes of heap-resident blocks."""
+        return sum(b.data_bytes for b in self._blocks.values() if not b.on_disk)
+
+    # -- registration -----------------------------------------------------------
+
+    def put(self, block: MaterializedBlock, level: TaggedStorageLevel) -> None:
+        """Register a freshly materialised persisted block (already rooted
+        by the materialiser)."""
+        block.level = level
+        block.last_used = next(self._lru)
+        self._blocks[block.rdd_id] = block
+
+    def unpersist(self, rdd_id: int) -> None:
+        """Release a block: unroot its top and forget it."""
+        block = self._blocks.pop(rdd_id, None)
+        if block is not None and not block.on_disk:
+            self._release_heap_objects(block)
+
+    def _release_heap_objects(self, block: MaterializedBlock) -> None:
+        """Unroot a block and stop card-scanning its (now garbage) arrays."""
+        self.heap.remove_root(block.top)
+        for array in block.arrays:
+            if self.heap.card_table.is_registered(array):
+                self.heap.card_table.unregister(array)
+
+    # -- memory pressure ------------------------------------------------------------
+
+    def ensure_capacity(
+        self, nbytes: float, collector, extra_live: float = 0.0
+    ) -> None:
+        """Make room for ``nbytes`` of new data in the old generation.
+
+        Evicts LRU blocks until the estimated post-GC free space covers
+        the request plus headroom, then runs a full GC to actually
+        reclaim the evicted structures.  The headroom always reserves at
+        least a nursery's worth of space so a scavenge can never fail to
+        tenure its survivors.
+
+        Args:
+            nbytes: incoming data size.
+            collector: used to run the reclaiming full GC.
+            extra_live: live old-generation bytes the block registry
+                cannot see (active transient ShuffledRDD blocks).
+        """
+        capacity = self.heap.old_capacity_bytes()
+        headroom = max(
+            capacity * self.HEADROOM_FRACTION,
+            float(self.heap.config.nursery_bytes),
+        )
+        evicted_any = False
+        while self._estimated_free(capacity) - extra_live < nbytes + headroom:
+            victim = self._pick_victim()
+            if victim is None:
+                break
+            self._evict(victim)
+            evicted_any = True
+        needs_room = self.heap.old_used_bytes() + nbytes + headroom > capacity
+        if evicted_any or needs_room:
+            collector.collect_major()
+
+    def _estimated_free(self, capacity: float) -> float:
+        return capacity - self.in_memory_bytes()
+
+    def _pick_victim(self) -> Optional[MaterializedBlock]:
+        candidates = [b for b in self._blocks.values() if not b.on_disk]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda b: b.last_used)
+
+    def _evict(self, block: MaterializedBlock) -> None:
+        """Spill (disk-capable levels) or drop (MEMORY_ONLY) one block."""
+        level = block.level.level if block.level is not None else None
+        if level is not None and level.use_disk:
+            self._spill(block)
+        else:
+            self._drop(block)
+
+    def _spill(self, block: MaterializedBlock) -> None:
+        """Serialise a block to disk and release its heap objects."""
+        ser_bytes = block.data_bytes * self.costs.ser_factor
+        threads = self.heap.config.mutator_threads
+        # Read the block from wherever it lives, write the serialised
+        # form to disk.
+        for pidx in range(len(block.arrays)):
+            for device, piece in block.partition_traffic(pidx):
+                self.machine.access(device, read_bytes=piece, threads=threads)
+        self.machine.access(
+            DeviceKind.DISK,
+            write_bytes=ser_bytes,
+            threads=threads,
+            cpu_ns=block.data_bytes * self.costs.cpu_ns_per_byte / threads,
+        )
+        self._release_heap_objects(block)
+        block.on_disk = True
+        self.spilled_count += 1
+
+    def _drop(self, block: MaterializedBlock) -> None:
+        """Drop a MEMORY_ONLY block entirely; lineage will recompute it."""
+        self._release_heap_objects(block)
+        del self._blocks[block.rdd_id]
+        self.dropped_count += 1

@@ -1,0 +1,72 @@
+"""Mutator cost model: the constants that turn record processing into
+simulated nanoseconds and bytes.
+
+One simulated record stands for a *slab* of real tuples whose combined
+payload is ``bytes_per_record``; the constants below describe the real
+fine-grained structure (100-byte tuples referenced by 8-byte array
+slots — Figure 1's heap shape), so array sizes, hash-probe counts and
+CPU time all scale with true data volume rather than simulated record
+count.
+
+These constants are the calibration surface of the reproduction: the
+paper's *shapes* (who wins, by what factor) come from the device model;
+these constants set the mutator/GC balance so the shapes are visible at
+a Figure 5-like scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MutatorCosts:
+    """Tunable constants of the mutator's cost model.
+
+    Attributes:
+        cpu_ns_per_byte: pure-CPU cost per processed byte (before the
+            mutator-thread divisor).
+        cpu_ns_per_record: per-record function-call overhead.
+        real_tuple_bytes: payload of one real tuple; drives the array
+            slot count and hash-probe count per simulated record.
+        ref_bytes: size of one array reference slot.
+        hash_grain_bytes: one latency-bound probe per this many bytes of
+            hash-table build input.
+        ser_factor: serialised-to-deserialised size ratio (shuffle files
+            and spilled blocks).
+        array_share: fraction of a partition's payload living in array
+            objects.  Figure 1's RDDs are array-heavy — the backbone
+            reference array plus nested char/buffer arrays — which is why
+            the paper notes "the array is often much larger than the top
+            and tuple objects" and pretenures it.
+        top_object_bytes: size of an RDD top object.
+        slabs_per_partition: data (tuple-slab) objects per partition.
+        source_cpu_ns_per_byte: parsing cost of input data.
+    """
+
+    cpu_ns_per_byte: float = 8.0
+    cpu_ns_per_record: float = 2_000.0
+    #: Eden fills ``alloc_factor`` times faster than useful output bytes:
+    #: JVM Spark allocates boxed tuples, iterator wrappers and buffer
+    #: copies far beyond the live data (the "large amounts of
+    #: intermediate data" that make GC frequent, §5.3).
+    alloc_factor: float = 5.0
+    real_tuple_bytes: int = 100
+    ref_bytes: int = 8
+    hash_grain_bytes: int = 4_096
+    ser_factor: float = 0.4
+    array_share: float = 0.5
+    top_object_bytes: int = 256
+    slabs_per_partition: int = 4
+    source_cpu_ns_per_byte: float = 2.0
+
+    def array_bytes_for(self, data_bytes: float) -> int:
+        """Backbone/buffer array size for ``data_bytes`` of partition
+        payload; at least one card's worth so even empty partitions own
+        an array."""
+        return max(512, int(data_bytes * self.array_share))
+
+    def hash_probes_for(self, build_bytes: float) -> int:
+        """Latency-bound probes to build/query a hash table over
+        ``build_bytes`` of input."""
+        return int(build_bytes / self.hash_grain_bytes)

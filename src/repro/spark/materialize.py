@@ -1,0 +1,193 @@
+"""RDD materialisation: turning record lists into heap object structures.
+
+A materialised RDD mirrors Figure 1 of the paper: a top object references
+one backbone array per partition; each array references the partition's
+tuple-slab data objects.  The backbone array is allocated through the
+tag-wait path (``rdd_alloc`` + first-large-array recognition, §4.2.1), so
+under Panthera it lands directly in the old space named by the RDD's
+memory tag, while tops and slabs start young and are moved by the GC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import DeviceKind
+from repro.core.tags import MemoryTag
+from repro.heap.managed_heap import ManagedHeap
+from repro.heap.object_model import HeapObject, ObjKind
+from repro.memory.machine import Machine
+from repro.spark.costmodel import MutatorCosts
+from repro.spark.partition import Record
+from repro.spark.storage import TaggedStorageLevel
+
+
+@dataclass
+class MaterializedBlock:
+    """One materialised RDD resident in the heap (or spilled to disk).
+
+    Attributes:
+        rdd_id: owning logical RDD.
+        top: the RDD top object (the GC root handle).
+        arrays: backbone array per partition.
+        slabs: tuple-slab objects per partition.
+        records: the data plane, per partition.
+        data_bytes: total in-heap payload bytes (already shrunk for
+            serialised levels).
+        level: the tagged storage level, or None for transients.
+        on_disk: True once the block was spilled (heap objects released).
+        serialized: whether the in-heap form is a serialised buffer
+            (reads pay deserialisation CPU).
+        last_used: LRU clock for eviction.
+    """
+
+    rdd_id: int
+    top: HeapObject
+    arrays: List[HeapObject]
+    slabs: List[List[HeapObject]]
+    records: List[List[Record]]
+    data_bytes: float
+    level: Optional[TaggedStorageLevel] = None
+    on_disk: bool = False
+    serialized: bool = False
+    last_used: float = 0.0
+
+    def heap_objects(self) -> List[HeapObject]:
+        """Every heap object belonging to this block."""
+        objs = [self.top] + list(self.arrays)
+        for partition_slabs in self.slabs:
+            objs.extend(partition_slabs)
+        return objs
+
+    def partition_bytes(self, pidx: int) -> float:
+        """Tuple payload bytes of one partition."""
+        return float(sum(s.size for s in self.slabs[pidx]))
+
+    def partition_traffic(self, pidx: int) -> List[Tuple[DeviceKind, int]]:
+        """Per-device byte pieces a streamed read of one partition touches
+        (array plus slabs, wherever the GC has put them by now)."""
+        pieces: List[Tuple[DeviceKind, int]] = []
+        for obj in [self.arrays[pidx]] + self.slabs[pidx]:
+            if obj.space is not None and obj.addr is not None:
+                pieces.extend(obj.space.object_traffic(obj))
+        return pieces
+
+    def device_histogram(self) -> Dict[DeviceKind, int]:
+        """Bytes per device over the whole block (for tests/reports)."""
+        hist: Dict[DeviceKind, int] = {}
+        for obj in self.heap_objects():
+            if obj.space is None or obj.addr is None:
+                continue
+            for device, nbytes in obj.space.object_traffic(obj):
+                hist[device] = hist.get(device, 0) + nbytes
+        return hist
+
+
+class Materializer:
+    """Builds :class:`MaterializedBlock` structures in the heap."""
+
+    def __init__(
+        self,
+        heap: ManagedHeap,
+        machine: Machine,
+        costs: MutatorCosts,
+        runtime=None,
+    ) -> None:
+        """Create a materialiser.
+
+        Args:
+            heap: the managed heap.
+            machine: cost sink.
+            costs: mutator cost constants.
+            runtime: the :class:`~repro.core.runtime_api.PantheraRuntime`
+                whose ``rdd_alloc`` passes tags down, or None when running
+                a non-Panthera policy (no instrumentation).
+        """
+        self.heap = heap
+        self.machine = machine
+        self.costs = costs
+        self.runtime = runtime
+
+    def materialize(
+        self,
+        rdd,
+        records_by_partition: List[List[Record]],
+        tag: Optional[MemoryTag],
+        serialized: bool = False,
+    ) -> MaterializedBlock:
+        """Materialise an RDD's records into heap objects.
+
+        The top object is created (and rooted) first so mid-materialisation
+        GCs keep the growing structure alive; ``rdd_alloc`` then arms the
+        tag-wait state so the backbone arrays are recognised and
+        pretenured; slabs are allocated young and wired to their array
+        through the write barrier (dirtying the array's cards exactly as
+        fresh old-to-young references do in the real system).
+
+        With ``serialized`` (the _SER storage levels) the in-heap form is
+        the compact byte buffer: ``ser_factor`` of the deserialised size,
+        paid back as deserialisation CPU on every read.
+        """
+        heap = self.heap
+        costs = self.costs
+        threads = heap.config.mutator_threads
+        shrink = costs.ser_factor if serialized else 1.0
+        top = heap.new_object(ObjKind.RDD_TOP, costs.top_object_bytes, rdd.id)
+        heap.add_root(top)
+        arrays: List[HeapObject] = []
+        slabs: List[List[HeapObject]] = []
+        total_bytes = 0.0
+        for records in records_by_partition:
+            part_bytes = len(records) * rdd.bytes_per_record * shrink
+            total_bytes += part_bytes
+            if self.runtime is not None:
+                self.runtime.rdd_alloc(top, tag)
+            array_size = costs.array_bytes_for(part_bytes)
+            array = heap.allocate_rdd_array(array_size, rdd.id)
+            device = array.space.device_of(array.addr)
+            self.machine.access(
+                device,
+                write_bytes=array_size,
+                threads=threads,
+                cpu_ns=array_size * costs.cpu_ns_per_byte / threads,
+            )
+            heap.write_ref(top, array)
+            partition_slabs: List[HeapObject] = []
+            slab_bytes = max(0.0, part_bytes - array_size)
+            # Slabs must fit the young generation: split further when a
+            # partition's payload dwarfs eden.
+            max_slab = max(1, heap.eden.size // 2)
+            n_slabs = max(
+                1,
+                costs.slabs_per_partition,
+                -(-int(slab_bytes) // max_slab),  # ceil division
+            )
+            slab_size = int(slab_bytes // n_slabs)
+            for i in range(n_slabs):
+                size = slab_size if i < n_slabs - 1 else int(
+                    slab_bytes - slab_size * (n_slabs - 1)
+                )
+                slab = heap.new_object(ObjKind.DATA, max(size, 0), rdd.id)
+                self.machine.access(
+                    DeviceKind.DRAM,
+                    write_bytes=slab.size,
+                    threads=threads,
+                    cpu_ns=slab.size * costs.cpu_ns_per_byte / threads,
+                )
+                heap.write_ref(array, slab)
+                partition_slabs.append(slab)
+            arrays.append(array)
+            slabs.append(partition_slabs)
+        return MaterializedBlock(
+            rdd_id=rdd.id,
+            top=top,
+            arrays=arrays,
+            slabs=slabs,
+            records=[list(p) for p in records_by_partition],
+            data_bytes=total_bytes,
+        )
+
+    def release(self, block: MaterializedBlock) -> None:
+        """Unroot a block; its heap objects die at the next collection."""
+        self.heap.remove_root(block.top)

@@ -1,0 +1,80 @@
+"""Partitioning: records, hash partitioner and helpers.
+
+A record is a plain ``(key, value)`` tuple; its byte weight lives on the
+owning RDD (``bytes_per_record``), which keeps the data plane cheap while
+the cost plane stays byte-accurate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, List, Sequence, Tuple
+
+Record = Tuple[Any, Any]
+
+
+class HashPartitioner:
+    """Spark's default partitioner: ``hash(key) mod n``.
+
+    Python's ``hash`` of ints/strings is deterministic within a process
+    for ints and stable across runs for ints; to be fully reproducible we
+    use a simple polynomial string hash instead of the salted built-in.
+    """
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.num_partitions = num_partitions
+
+    def partition_of(self, key: Hashable) -> int:
+        """Partition index for a key."""
+        return _stable_hash(key) % self.num_partitions
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HashPartitioner)
+            and other.num_partitions == self.num_partitions
+        )
+
+    def __hash__(self) -> int:
+        return hash(("HashPartitioner", self.num_partitions))
+
+    def split(self, records: Iterable[Record]) -> List[List[Record]]:
+        """Bucket records into per-partition lists."""
+        buckets: List[List[Record]] = [[] for _ in range(self.num_partitions)]
+        for record in records:
+            buckets[self.partition_of(record[0])].append(record)
+        return buckets
+
+
+def _stable_hash(key: Hashable) -> int:
+    """A deterministic, process-independent hash for common key types."""
+    if isinstance(key, int):
+        return key & 0x7FFFFFFF
+    if isinstance(key, str):
+        acc = 0
+        for ch in key:
+            acc = (acc * 31 + ord(ch)) & 0x7FFFFFFF
+        return acc
+    if isinstance(key, tuple):
+        acc = 0
+        for item in key:
+            acc = (acc * 1_000_003 + _stable_hash(item)) & 0x7FFFFFFF
+        return acc
+    if isinstance(key, float):
+        return _stable_hash(int(key * 1e6))
+    if isinstance(key, (bytes, bytearray)):
+        acc = 0
+        for b in key:
+            acc = (acc * 31 + b) & 0x7FFFFFFF
+        return acc
+    if key is None:
+        return 0
+    return hash(key) & 0x7FFFFFFF
+
+
+def split_evenly(records: Sequence[Record], num_partitions: int) -> List[List[Record]]:
+    """Round-robin split for un-keyed sources."""
+    buckets: List[List[Record]] = [[] for _ in range(num_partitions)]
+    for idx, record in enumerate(records):
+        buckets[idx % num_partitions].append(record)
+    return buckets

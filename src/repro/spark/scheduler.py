@@ -1,0 +1,516 @@
+"""The DAG scheduler and task-side cost charging.
+
+Execution follows Spark's model (§2): an action walks the lineage, runs
+every not-yet-written shuffle map stage bottom-up, then computes the
+final pipeline.  Wide dependencies are memoised as shuffle files for the
+application's lifetime (stage skipping), which keeps iterative jobs
+linear.  ShuffledRDDs — the materialised stage inputs the paper's tag
+propagation targets — are materialised into the heap when first fetched
+and released when their consuming scope ends.
+
+This module is also the mutator cost model: every transformation charges
+CPU time, young-generation writes and ephemeral allocation; every data
+*source* (persisted block, shuffle file, input file) charges its read at
+the device it actually lives on.  That single rule is what makes the
+unmanaged baseline pay for NVM-resident hot RDDs while Panthera does not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.config import DeviceKind
+from repro.core.lineage_propagation import propagate_tags
+from repro.core.tags import MemoryTag
+from repro.errors import SparkError
+from repro.heap.object_model import ObjKind
+from repro.spark.materialize import MaterializedBlock
+from repro.spark.partition import Record
+from repro.spark.rdd import (
+    RDD,
+    ShuffleDependency,
+    ShuffledRDD,
+)
+from repro.spark.storage import StorageLevel, expand_level
+
+
+class Scheduler:
+    """Runs actions over the logical RDD graph, charging the machine."""
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+        #: rdd_id -> runtime-propagated tag (ShuffledRDD inputs, §3)
+        self.runtime_tags: Dict[int, Optional[MemoryTag]] = {}
+        #: rdd_id -> transient ShuffledRDD block for the active scopes
+        self._transients: Dict[int, MaterializedBlock] = {}
+        self._scopes: List[List[MaterializedBlock]] = []
+        self.transient_materializations = 0
+
+    # ------------------------------------------------------------------
+    # scopes: transient ShuffledRDD lifetime ("die when the stage ends")
+    # ------------------------------------------------------------------
+
+    def _push_scope(self) -> None:
+        self._scopes.append([])
+
+    def _pop_scope(self) -> None:
+        for block in self._scopes.pop():
+            self.ctx.materializer.release(block)
+            # The stage is over: its buffers are garbage, and the stage's
+            # final safepoint stops treating their card regions as
+            # scannable (otherwise dead shuffle buffers would be
+            # phantom-rescanned until the next full GC).
+            for array in block.arrays:
+                if self.ctx.heap.card_table.is_registered(array):
+                    self.ctx.heap.card_table.unregister(array)
+            self._transients.pop(block.rdd_id, None)
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+
+    def run_action(self, rdd: RDD, action: str):
+        """Execute an action, driving all upstream stages."""
+        self._ensure_upstream_shuffles(rdd)
+        self._push_scope()
+        try:
+            if self.ctx.panthera_enabled and rdd.memory_tag is not None:
+                propagate_tags(rdd, rdd.memory_tag, self.runtime_tags)
+            parts = [
+                self.get_records(rdd, p) for p in range(rdd.num_partitions)
+            ]
+            if (
+                self.ctx.panthera_enabled
+                and rdd.memory_tag is not None
+                and rdd.persist_level is None
+                and not self.ctx.block_manager.contains(rdd.id)
+            ):
+                # The action is a materialisation point (§3): build the
+                # transient structure so the tag machinery is exercised,
+                # released when the action's scope closes.
+                block = self.ctx.materializer.materialize(
+                    rdd, parts, rdd.memory_tag
+                )
+                self._scopes[-1].append(block)
+        finally:
+            self._pop_scope()
+        records: List[Record] = [r for part in parts for r in part]
+        if action == "count":
+            return len(records)
+        if action == "collect":
+            return records
+        if action == "sum":
+            return sum(v for _, v in records)
+        raise SparkError(f"unknown action {action!r}")
+
+    def run_take(self, rdd: RDD, n: int) -> List[Record]:
+        """Compute partitions in order until ``n`` records are available
+        (Spark's incremental ``take``)."""
+        self._ensure_upstream_shuffles(rdd)
+        self._push_scope()
+        taken: List[Record] = []
+        try:
+            for pidx in range(rdd.num_partitions):
+                if len(taken) >= n:
+                    break
+                taken.extend(self.get_records(rdd, pidx))
+        finally:
+            self._pop_scope()
+        return taken[:n]
+
+    # ------------------------------------------------------------------
+    # stage orchestration
+    # ------------------------------------------------------------------
+
+    def _ensure_upstream_shuffles(self, rdd: RDD) -> None:
+        """Run every missing shuffle map stage below ``rdd``, parents
+        first (iterative postorder, so deep lineages never overflow the
+        Python stack)."""
+        order: List[ShuffleDependency] = []
+        seen: Set[int] = set()
+        stack = [(rdd, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                for dep in node.deps:
+                    if isinstance(dep, ShuffleDependency):
+                        if not self.ctx.shuffles.has(dep.shuffle_id):
+                            order.append(dep)
+                continue
+            if node.id in seen:
+                continue
+            seen.add(node.id)
+            if self.ctx.block_manager.contains(node.id):
+                continue  # cached: its upstream stages are skipped
+            stack.append((node, True))
+            for dep in node.deps:
+                stack.append((dep.parent, False))
+        for dep in order:
+            self._run_shuffle_map(dep)
+
+    def _run_shuffle_map(self, dep: ShuffleDependency) -> None:
+        """Execute one shuffle map stage and write its files."""
+        if self.ctx.shuffles.has(dep.shuffle_id):
+            return
+        self._ensure_upstream_shuffles(dep.parent)
+        costs = self.ctx.costs
+        threads = self.ctx.config.mutator_threads
+        n_out = dep.partitioner.num_partitions
+        buckets: List[List[Record]] = [[] for _ in range(n_out)]
+        self._push_scope()
+        try:
+            for pidx in range(dep.parent.num_partitions):
+                records = self.get_records(dep.parent, pidx)
+                in_bytes = len(records) * dep.parent.bytes_per_record
+                if dep.map_side_combine is not None or dep.map_side_aggregate is not None:
+                    if dep.map_side_aggregate is not None:
+                        records = dep.map_side_aggregate(records)
+                    else:
+                        combined: dict = {}
+                        fn = dep.map_side_combine
+                        for k, v in records:
+                            combined[k] = fn(combined[k], v) if k in combined else v
+                        records = list(combined.items())
+                    self.ctx.machine.access(
+                        DeviceKind.DRAM,
+                        random_reads=costs.hash_probes_for(in_bytes),
+                        threads=threads,
+                        cpu_ns=in_bytes * costs.cpu_ns_per_byte / threads,
+                    )
+                for record in records:
+                    buckets[dep.partitioner.partition_of(record[0])].append(record)
+                out_bytes = (
+                    len(records) * dep.parent.bytes_per_record * dep.combine_factor
+                )
+                ser_bytes = out_bytes * costs.ser_factor
+                self.ctx.machine.access(
+                    DeviceKind.DISK,
+                    write_bytes=ser_bytes,
+                    threads=threads,
+                    cpu_ns=out_bytes * costs.cpu_ns_per_byte / threads,
+                )
+        finally:
+            self._pop_scope()
+        bpr = dep.parent.bytes_per_record * dep.combine_factor
+        sizes = [len(b) * bpr * costs.ser_factor for b in buckets]
+        self.ctx.shuffles.write(dep.shuffle_id, buckets, sizes)
+
+    # ------------------------------------------------------------------
+    # record access (the task-side data plane)
+    # ------------------------------------------------------------------
+
+    def get_records(self, rdd: RDD, pidx: int) -> List[Record]:
+        """One partition of ``rdd``, from cache, shuffle or recomputation."""
+        block = self.ctx.block_manager.get(rdd.id)
+        if block is not None:
+            return self._read_block(rdd, block, pidx)
+        transient = self._transients.get(rdd.id)
+        if transient is not None:
+            return self._read_block(rdd, transient, pidx)
+        if rdd.persist_level is not None:
+            self._materialize_persisted(rdd)
+            block = self.ctx.block_manager.get(rdd.id)
+            if block is None:
+                raise SparkError(f"persist of {rdd!r} produced no block")
+            return self._read_block(rdd, block, pidx)
+        if isinstance(rdd, ShuffledRDD):
+            block = self._materialize_shuffled(rdd)
+            return self._read_block(rdd, block, pidx)
+        return rdd.compute_partition(pidx, self)
+
+    def _read_block(
+        self, rdd: RDD, block: MaterializedBlock, pidx: int
+    ) -> List[Record]:
+        """Serve one partition from a block, charging its read wherever
+        the block's objects currently live."""
+        records = block.records[pidx]
+        threads = self.ctx.config.mutator_threads
+        if block.on_disk:
+            part_bytes = len(records) * rdd.bytes_per_record
+            self.ctx.machine.access(
+                DeviceKind.DISK,
+                read_bytes=part_bytes * self.ctx.costs.ser_factor,
+                threads=threads,
+                cpu_ns=part_bytes * self.ctx.costs.cpu_ns_per_byte / threads,
+            )
+        else:
+            traffic: Dict[DeviceKind, float] = {}
+            for device, nbytes in block.partition_traffic(pidx):
+                traffic[device] = traffic.get(device, 0.0) + nbytes
+            from repro.memory.machine import Traffic
+
+            # Serialised blocks pay deserialisation CPU on every read.
+            deser_cpu = 0.0
+            if block.serialized:
+                part_bytes = len(records) * rdd.bytes_per_record
+                deser_cpu = (
+                    part_bytes * self.ctx.costs.cpu_ns_per_byte / threads
+                )
+            self.ctx.machine.run_batch(
+                {d: Traffic(read_bytes=b) for d, b in traffic.items()},
+                threads=threads,
+                cpu_ns=deser_cpu,
+            )
+            # Consuming a cached partition leaves reference writes (task
+            # iterators, buffer handles) in its card region, so the next
+            # minor GC re-scans the array — on whatever device it lives.
+            if pidx < len(block.arrays):
+                array = block.arrays[pidx]
+                heap = self.ctx.heap
+                if heap.in_old(array) and heap.card_table.is_registered(array):
+                    heap.card_table.mark_dirty(array)
+        # Runtime consumption counts towards the RDD's call frequency —
+        # this is what keeps iteratively re-read RDDs "hot" across major
+        # GCs (§4.2.2).
+        self.ctx.on_rdd_call(rdd)
+        return list(records)
+
+    # ------------------------------------------------------------------
+    # materialisation paths
+    # ------------------------------------------------------------------
+
+    def _materialize_persisted(self, rdd: RDD) -> None:
+        """First computation of a persisted RDD: compute, then cache."""
+        level = rdd.persist_level
+        assert level is not None
+        tag = rdd.memory_tag if self.ctx.panthera_enabled else None
+        if self.ctx.panthera_enabled and tag is not None:
+            propagate_tags(rdd, tag, self.runtime_tags)
+        self._push_scope()
+        try:
+            parts = [
+                rdd.compute_partition(p, self) for p in range(rdd.num_partitions)
+            ]
+        finally:
+            self._pop_scope()
+        total_bytes = sum(len(p) for p in parts) * rdd.bytes_per_record
+        costs = self.ctx.costs
+        threads = self.ctx.config.mutator_threads
+        if level.off_heap:
+            block = self._materialize_off_heap(rdd, parts)
+        elif level.use_memory:
+            in_heap_bytes = (
+                total_bytes * costs.ser_factor if level.serialized else total_bytes
+            )
+            self.ctx.block_manager.ensure_capacity(
+                in_heap_bytes,
+                self.ctx.collector,
+                extra_live=self._active_transient_bytes(),
+            )
+            block = self.ctx.materializer.materialize(
+                rdd, parts, tag, serialized=level.serialized
+            )
+            block.serialized = level.serialized
+        else:  # DISK_ONLY
+            top = self.ctx.heap.new_object(ObjKind.CONTROL, 64, rdd.id)
+            block = MaterializedBlock(
+                rdd_id=rdd.id,
+                top=top,
+                arrays=[],
+                slabs=[[] for _ in parts],
+                records=[list(p) for p in parts],
+                data_bytes=total_bytes,
+                on_disk=True,
+            )
+            self.ctx.machine.access(
+                DeviceKind.DISK,
+                write_bytes=total_bytes * costs.ser_factor,
+                threads=threads,
+                cpu_ns=total_bytes * costs.cpu_ns_per_byte / threads,
+            )
+        expanded = expand_level(level, tag)
+        self.ctx.block_manager.put(block, expanded)
+
+    def _materialize_off_heap(self, rdd: RDD, parts: List[List[Record]]):
+        """OFF_HEAP persistence: native NVM memory, outside the GC (§4.1)."""
+        heap = self.ctx.heap
+        from repro.heap.object_model import HeapObject
+
+        top = heap.new_object(ObjKind.CONTROL, 64, rdd.id)
+        arrays = []
+        threads = self.ctx.config.mutator_threads
+        total = 0.0
+        for records in parts:
+            part_bytes = len(records) * rdd.bytes_per_record
+            total += part_bytes
+            native_obj = HeapObject(ObjKind.RDD_ARRAY, int(part_bytes), rdd.id)
+            if not heap.native.place(native_obj):
+                raise SparkError("native (off-heap) memory exhausted")
+            self.ctx.machine.access(
+                heap.native.device,
+                write_bytes=part_bytes,
+                threads=threads,
+                cpu_ns=part_bytes * self.ctx.costs.cpu_ns_per_byte / threads,
+            )
+            arrays.append(native_obj)
+        return MaterializedBlock(
+            rdd_id=rdd.id,
+            top=top,
+            arrays=arrays,
+            slabs=[[] for _ in parts],
+            records=[list(p) for p in parts],
+            data_bytes=total,
+        )
+
+    def _active_transient_bytes(self) -> float:
+        """Live bytes held by in-flight transient blocks (invisible to the
+        block manager's registry)."""
+        return sum(b.data_bytes for b in self._transients.values())
+
+    def _materialize_shuffled(self, rdd: ShuffledRDD) -> MaterializedBlock:
+        """Materialise a ShuffledRDD stage input (always materialised, §2)
+        with its runtime-propagated tag; it dies when the scope ends."""
+        if not self._scopes:
+            self._push_scope()  # defensive: an implicit outermost scope
+        dep = rdd.shuffle_dep
+        if self.ctx.shuffles.has(dep.shuffle_id):
+            estimate = sum(
+                self.ctx.shuffles.serialized_bytes(dep.shuffle_id, p)
+                for p in range(rdd.num_partitions)
+            ) / max(self.ctx.costs.ser_factor, 1e-9)
+            self.ctx.block_manager.ensure_capacity(
+                estimate,
+                self.ctx.collector,
+                extra_live=self._active_transient_bytes(),
+            )
+        parts = [
+            rdd.compute_partition(p, self) for p in range(rdd.num_partitions)
+        ]
+        tag = (
+            self.runtime_tags.get(rdd.id)
+            if self.ctx.panthera_enabled
+            else None
+        )
+        block = self.ctx.materializer.materialize(rdd, parts, tag)
+        self._transients[rdd.id] = block
+        self._scopes[-1].append(block)
+        self.transient_materializations += 1
+        return block
+
+    # ------------------------------------------------------------------
+    # shuffle fetch + per-op cost charging (called from rdd.compute_partition)
+    # ------------------------------------------------------------------
+
+    def fetch_shuffle(self, dep: ShuffleDependency, pidx: int) -> List[Record]:
+        """Read one reduce partition from shuffle files on disk."""
+        if not self.ctx.shuffles.has(dep.shuffle_id):
+            self._run_shuffle_map(dep)
+        records = self.ctx.shuffles.read(dep.shuffle_id, pidx)
+        costs = self.ctx.costs
+        threads = self.ctx.config.mutator_threads
+        ser_bytes = self.ctx.shuffles.serialized_bytes(dep.shuffle_id, pidx)
+        raw_bytes = ser_bytes / costs.ser_factor if costs.ser_factor else ser_bytes
+        self._ephemeral(raw_bytes)
+        self.ctx.machine.access(
+            DeviceKind.DISK,
+            read_bytes=ser_bytes,
+            threads=threads,
+            cpu_ns=raw_bytes * costs.cpu_ns_per_byte / threads,
+        )
+        self.ctx.machine.access(
+            DeviceKind.DRAM, write_bytes=raw_bytes, threads=threads
+        )
+        return records
+
+    def _ephemeral(self, nbytes: float) -> None:
+        """Allocate streaming bytes in eden, chunked below eden's size.
+
+        The allocation-pressure factor models the JVM's temp-object churn
+        (boxing, iterator wrappers): eden fills several times faster than
+        the useful output volume.
+        """
+        remaining = int(nbytes * self.ctx.costs.alloc_factor)
+        chunk = max(1, self.ctx.heap.eden.size // 4)
+        while remaining > 0:
+            take = min(remaining, chunk)
+            self.ctx.heap.allocate_ephemeral(take)
+            remaining -= take
+
+    def _write_overhead_ns(self, nbytes: float) -> float:
+        """Kingsguard-Writes' monitoring barrier cost for ``nbytes`` of
+        mutator writes."""
+        per_write = self.ctx.policy.mutator_write_barrier_ns()
+        if per_write <= 0:
+            return 0.0
+        return per_write * (nbytes / 64.0)
+
+    def _charge_op(
+        self,
+        in_bytes: float,
+        out_bytes: float,
+        n_in: int,
+        n_out: int,
+        probe_bytes: float = 0.0,
+    ) -> None:
+        """Common charging for one partition-level operator."""
+        costs = self.ctx.costs
+        threads = self.ctx.config.mutator_threads
+        cpu = (
+            in_bytes * costs.cpu_ns_per_byte
+            + (n_in + n_out) * costs.cpu_ns_per_record
+            + self._write_overhead_ns(out_bytes)
+        ) / threads
+        self._ephemeral(out_bytes)
+        self.ctx.machine.access(
+            DeviceKind.DRAM,
+            write_bytes=out_bytes,
+            random_reads=costs.hash_probes_for(probe_bytes),
+            threads=threads,
+            cpu_ns=cpu,
+        )
+
+    def charge_narrow_op(
+        self, rdd: RDD, parent: RDD, in_records: List[Record], out_records: List[Record]
+    ) -> None:
+        """Cost of a pipelined narrow transformation."""
+        self._charge_op(
+            in_bytes=len(in_records) * parent.bytes_per_record,
+            out_bytes=len(out_records) * rdd.bytes_per_record,
+            n_in=len(in_records),
+            n_out=len(out_records),
+        )
+
+    def charge_aggregation(
+        self, rdd: ShuffledRDD, raw: List[Record], out: List[Record]
+    ) -> None:
+        """Cost of a reduce-side aggregation (hash build over raw input)."""
+        in_bytes = len(raw) * rdd.deps[0].parent.bytes_per_record
+        self._charge_op(
+            in_bytes=in_bytes,
+            out_bytes=len(out) * rdd.bytes_per_record,
+            n_in=len(raw),
+            n_out=len(out),
+            probe_bytes=in_bytes,
+        )
+
+    def charge_cogroup(
+        self, rdd: RDD, sides: List[List[Record]], out: List[Record]
+    ) -> None:
+        """Cost of a hash cogroup over all input sides."""
+        in_bytes = sum(
+            len(side) * dep.parent.bytes_per_record
+            for side, dep in zip(sides, rdd.deps)
+        )
+        self._charge_op(
+            in_bytes=in_bytes,
+            out_bytes=len(out) * rdd.bytes_per_record,
+            n_in=sum(len(s) for s in sides),
+            n_out=len(out),
+            probe_bytes=in_bytes,
+        )
+
+    def charge_source_read(self, rdd: RDD, records: List[Record]) -> None:
+        """Cost of reading and parsing one input partition from disk."""
+        costs = self.ctx.costs
+        threads = self.ctx.config.mutator_threads
+        nbytes = len(records) * rdd.bytes_per_record
+        self._ephemeral(nbytes)
+        self.ctx.machine.access(
+            DeviceKind.DISK,
+            read_bytes=nbytes,
+            threads=threads,
+            cpu_ns=nbytes * costs.source_cpu_ns_per_byte / threads,
+        )
+        self.ctx.machine.access(
+            DeviceKind.DRAM, write_bytes=nbytes, threads=threads
+        )

@@ -1,0 +1,58 @@
+"""Shuffle file management.
+
+Each stage ends at a shuffle that writes partitioned, serialised records
+to disk files; the next stage begins by reading them (§2).  Shuffle
+outputs are retained for the lifetime of the application — this is
+Spark's stage-skipping memoisation, and it is what keeps lineage-based
+recomputation of an iterative job linear instead of exponential.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import SparkError
+from repro.spark.partition import Record
+
+
+class ShuffleManager:
+    """In-memory registry standing in for shuffle files on disk."""
+
+    def __init__(self) -> None:
+        #: shuffle id -> per-reduce-partition record lists
+        self._outputs: Dict[int, List[List[Record]]] = {}
+        #: shuffle id -> serialised bytes per reduce partition
+        self._sizes: Dict[int, List[float]] = {}
+
+    def has(self, shuffle_id: int) -> bool:
+        """Whether this shuffle's map stage already ran."""
+        return shuffle_id in self._outputs
+
+    def write(
+        self,
+        shuffle_id: int,
+        buckets: List[List[Record]],
+        serialized_bytes: List[float],
+    ) -> None:
+        """Store one shuffle's complete map output."""
+        if shuffle_id in self._outputs:
+            raise SparkError(f"shuffle {shuffle_id} written twice")
+        if len(buckets) != len(serialized_bytes):
+            raise SparkError("bucket/size length mismatch")
+        self._outputs[shuffle_id] = buckets
+        self._sizes[shuffle_id] = serialized_bytes
+
+    def read(self, shuffle_id: int, pidx: int) -> List[Record]:
+        """Fetch one reduce partition's records."""
+        try:
+            return list(self._outputs[shuffle_id][pidx])
+        except KeyError:
+            raise SparkError(f"shuffle {shuffle_id} has not been written") from None
+
+    def serialized_bytes(self, shuffle_id: int, pidx: int) -> float:
+        """Serialised on-disk size of one reduce partition."""
+        return self._sizes[shuffle_id][pidx]
+
+    def total_bytes(self) -> float:
+        """Total serialised bytes across all shuffles (for reports)."""
+        return sum(sum(sizes) for sizes in self._sizes.values())

@@ -1,0 +1,12 @@
+"""The paper's seven benchmark programs (Table 4) over the mini-Spark IR.
+
+PageRank, K-Means, Logistic Regression and Transitive Closure run
+directly on Spark; Connected Components and Single-Source Shortest Path
+are Pregel-style GraphX programs; Naive Bayes stands in for MLlib-BC.
+All run on synthetic datasets (see :mod:`repro.workloads.datasets`) sized
+to produce the paper's in-memory pressure.
+"""
+
+from repro.workloads.registry import WORKLOADS, build_workload
+
+__all__ = ["WORKLOADS", "build_workload"]

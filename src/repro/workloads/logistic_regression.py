@@ -1,0 +1,78 @@
+"""Spark Logistic Regression: cached points, per-iteration gradient.
+
+Identical memory shape to K-Means: the training set is persisted before
+the loop and used-only inside it (DRAM tag); gradients are tiny driver-
+side aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Tuple
+
+from repro.spark.program import Program
+from repro.spark.storage import StorageLevel
+from repro.workloads.datasets import DatasetSpec, ml_points
+from repro.workloads.pagerank import WorkloadSpec
+
+Vector = Tuple[float, ...]
+
+
+def _dot(a: Vector, b: Vector) -> float:
+    return sum(x * y for x, y in zip(a, b))
+
+
+def build_logistic_regression(
+    scale: float = 1.0,
+    iterations: int = 10,
+    learning_rate: float = 0.1,
+    seed: int = 11,
+    dataset: Optional[DatasetSpec] = None,
+) -> WorkloadSpec:
+    """Build the LR program (batch gradient descent, binary labels)."""
+    ds = dataset or ml_points(scale=scale, seed=seed)
+    dim = len(ds.records[0][1])
+    rng = random.Random(seed + 1)
+    state = {"weights": tuple(rng.uniform(-0.1, 0.1) for _ in range(dim))}
+
+    def gradient(record):
+        label, vec = record
+        y = 1.0 if (label % 2 == 1) else -1.0
+        margin = y * _dot(state["weights"], vec)
+        # Clamp to keep exp() finite on far-out points.
+        margin = max(-30.0, min(30.0, margin))
+        coeff = (1.0 / (1.0 + math.exp(-margin)) - 1.0) * y
+        return ("grad", (tuple(coeff * x for x in vec), 1))
+
+    def merge(a, b):
+        return (tuple(x + y for x, y in zip(a[0], b[0])), a[1] + b[1])
+
+    def update_weights(results) -> None:
+        grads = results.get("gradient")
+        if not grads:
+            return
+        (_, (grad_sum, count)), = grads
+        step = learning_rate / max(1, count)
+        state["weights"] = tuple(
+            w - step * g for w, g in zip(state["weights"], grad_sum)
+        )
+
+    p = Program()
+    lines = p.let("lines", p.source(ds))
+    points = p.let(
+        "points", lines.map(lambda r: r).persist(StorageLevel.MEMORY_ONLY)
+    )
+    with p.loop(iterations):
+        grads = p.let("grads", points.map(gradient, size_factor=1.0))
+        total = p.let("total", grads.reduce_by_key(merge, size_factor=0.02))
+        p.action(total, "collect", result_key="gradient")
+        p.driver(update_weights)
+    p.action(points, "count", result_key="n_points")
+    return WorkloadSpec(
+        name="LR",
+        program=p,
+        dataset=ds,
+        iterations=iterations,
+        description="Logistic regression via batch gradient descent",
+    )

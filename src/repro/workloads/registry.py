@@ -1,0 +1,40 @@
+"""Workload registry: the paper's benchmark names -> program builders."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ReproError
+from repro.workloads.graphx import build_connected_components, build_sssp
+from repro.workloads.kmeans import build_kmeans
+from repro.workloads.logistic_regression import build_logistic_regression
+from repro.workloads.naive_bayes import build_naive_bayes
+from repro.workloads.pagerank import WorkloadSpec, build_pagerank
+from repro.workloads.transitive_closure import build_transitive_closure
+
+#: Table 4's program abbreviations.
+WORKLOADS: Dict[str, Callable[..., WorkloadSpec]] = {
+    "PR": build_pagerank,
+    "KM": build_kmeans,
+    "LR": build_logistic_regression,
+    "TC": build_transitive_closure,
+    "CC": build_connected_components,
+    "SSSP": build_sssp,
+    "BC": build_naive_bayes,
+}
+
+
+def build_workload(name: str, **kwargs) -> WorkloadSpec:
+    """Build a workload by its Table 4 abbreviation.
+
+    Args:
+        name: one of PR, KM, LR, TC, CC, SSSP, BC.
+        **kwargs: forwarded to the builder (``scale``, ``iterations``,
+            ``seed``, ``dataset``).
+    """
+    try:
+        builder = WORKLOADS[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise ReproError(f"unknown workload {name!r}; known: {known}") from None
+    return builder(**kwargs)

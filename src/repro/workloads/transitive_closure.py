@@ -1,0 +1,64 @@
+"""Spark Transitive Closure (the classic Spark example).
+
+``edges`` is persisted once and only used inside the loop (DRAM tag);
+the growing ``paths`` closure is redefined every iteration
+(NVM tag) — the mixed-tag workload of the evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.spark.program import Program
+from repro.spark.storage import StorageLevel
+from repro.workloads.datasets import DatasetSpec, notre_dame_graph
+from repro.workloads.pagerank import WorkloadSpec
+
+
+def _swap(record):
+    a, b = record
+    return (b, a)
+
+
+def _compose(record):
+    """joined (mid, (src, dst)) -> new path (src, dst)."""
+    _, (src, dst) = record
+    return (src, dst)
+
+
+def build_transitive_closure(
+    scale: float = 1.0,
+    iterations: int = 6,
+    seed: int = 13,
+    dataset: Optional[DatasetSpec] = None,
+) -> WorkloadSpec:
+    """Build the TC program: repeated self-join until (bounded) closure."""
+    ds = dataset or notre_dame_graph(scale=scale, seed=seed)
+
+    p = Program()
+    lines = p.let("lines", p.source(ds))
+    edges = p.let(
+        "edges",
+        lines.map(lambda r: r).distinct().persist(StorageLevel.MEMORY_ONLY),
+    )
+    paths = p.let("paths", edges.map(lambda r: r).persist(StorageLevel.MEMORY_ONLY))
+    with p.loop(iterations):
+        # paths.map(swap).join(edges): (mid, src) x (mid, dst) -> (src, dst)
+        paths = p.let(
+            "paths",
+            paths.map(_swap)
+            .join(edges)
+            .map(_compose)
+            .union(paths)
+            .distinct()
+            .persist(StorageLevel.MEMORY_ONLY),
+        )
+        p.unpersist_prior(paths)
+    p.action(paths, "count", result_key="closure_size")
+    return WorkloadSpec(
+        name="TC",
+        program=p,
+        dataset=ds,
+        iterations=iterations,
+        description="Transitive closure by iterated self-join",
+    )

@@ -1,0 +1,85 @@
+"""CLI tests: every subcommand runs end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestList:
+    def test_lists_all_workloads(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        for name in ("PR", "KM", "LR", "TC", "CC", "SSSP", "BC"):
+            assert name in out
+
+
+class TestAnalyze:
+    def test_pagerank_tags(self, capsys):
+        code, out = run_cli(capsys, "analyze", "PR", "--iterations", "3")
+        assert code == 0
+        assert "links" in out and "DRAM" in out
+        assert "contribs" in out and "NVM" in out
+
+    def test_flip_note_for_graphx(self, capsys):
+        code, out = run_cli(capsys, "analyze", "CC", "--scale", "0.02")
+        assert code == 0
+        assert "flipped to DRAM" in out
+
+
+class TestRun:
+    ARGS = ("--scale", "0.02", "--iterations", "3")
+
+    def test_basic_run(self, capsys):
+        code, out = run_cli(capsys, "run", "PR", *self.ARGS)
+        assert code == 0
+        assert "PR [panthera]" in out
+        assert "GC" in out
+
+    def test_policy_selection(self, capsys):
+        code, out = run_cli(capsys, "run", "KM", "--policy", "unmanaged", *self.ARGS)
+        assert code == 0
+        assert "unmanaged" in out
+
+    def test_gclog_output(self, capsys):
+        code, out = run_cli(capsys, "run", "PR", "--gclog", "3", *self.ARGS)
+        assert code == 0
+        assert "GC summary:" in out
+
+    def test_verify_flag(self, capsys):
+        code, out = run_cli(capsys, "run", "PR", "--verify", *self.ARGS)
+        assert code == 0
+        assert "heap verification: consistent" in out
+
+    def test_export_json(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        code, out = run_cli(capsys, "run", "PR", "--export-json", str(path), *self.ARGS)
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["PR"]["workload"] == "PR"
+
+    def test_export_bandwidth(self, capsys, tmp_path):
+        path = tmp_path / "bw.csv"
+        code, out = run_cli(
+            capsys, "run", "PR", "--export-bandwidth", str(path), *self.ARGS
+        )
+        assert code == 0
+        assert path.read_text().startswith("time_s,device,direction,gbps")
+
+
+class TestCompare:
+    def test_three_policies(self, capsys):
+        code, out = run_cli(
+            capsys, "compare", "KM", "--scale", "0.02", "--iterations", "3"
+        )
+        assert code == 0
+        assert "dram-only" in out
+        assert "panthera" in out
+        assert "time (norm.)" in out

@@ -1,0 +1,90 @@
+"""Tests for the cluster-scale pause projection (§5.2's argument)."""
+
+import pytest
+
+from repro.config import PolicyName
+from repro.cluster.projection import project_cluster, project_pauses
+from repro.errors import ReproError
+from repro.harness.configs import paper_config
+from repro.harness.experiment import run_experiment
+
+SCALE = 0.05
+
+
+class TestProjectPauses:
+    def test_single_node_is_identity(self):
+        projection = project_pauses(100.0, [1.0, 2.0], nodes=1)
+        assert projection.cluster_s == pytest.approx(103.0)
+        assert projection.slowdown == pytest.approx(1.0)
+
+    def test_no_pauses_no_slowdown(self):
+        projection = project_pauses(100.0, [], nodes=32)
+        assert projection.slowdown == pytest.approx(1.0)
+        assert projection.gc_amplification == pytest.approx(1.0)
+
+    def test_slowdown_grows_with_cluster_size(self):
+        pauses = [0.5] * 40
+        slowdowns = [
+            project_pauses(100.0, pauses, nodes=k).slowdown for k in (1, 4, 16, 64)
+        ]
+        for smaller, larger in zip(slowdowns, slowdowns[1:]):
+            assert larger >= smaller
+
+    def test_amplification_bounded_by_windows_times_worst(self):
+        pauses = [1.0] * 10
+        projection = project_pauses(100.0, pauses, nodes=8, sync_windows=5)
+        # The cluster can never wait more than every node pausing fully
+        # in every window.
+        assert projection.gc_amplification <= 8.0
+
+    def test_deterministic(self):
+        pauses = [0.3] * 20
+        a = project_pauses(50.0, pauses, nodes=8, seed=7)
+        b = project_pauses(50.0, pauses, nodes=8, seed=7)
+        assert a.cluster_s == b.cluster_s
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ReproError):
+            project_pauses(1.0, [], nodes=0)
+        with pytest.raises(ReproError):
+            project_pauses(1.0, [], nodes=2, sync_windows=0)
+
+
+class TestProjectCluster:
+    @pytest.fixture(scope="class")
+    def results(self):
+        out = {}
+        for key, policy in (
+            ("unmanaged", PolicyName.UNMANAGED),
+            ("panthera", PolicyName.PANTHERA),
+        ):
+            cfg = paper_config(64, 1 / 3, policy, SCALE)
+            out[key] = run_experiment(
+                "PR", cfg, scale=SCALE, keep_context=True,
+                workload_kwargs={"iterations": 6},
+            )
+        return out
+
+    def test_requires_context(self):
+        cfg = paper_config(64, 1 / 3, PolicyName.PANTHERA, SCALE)
+        result = run_experiment(
+            "PR", cfg, scale=SCALE, workload_kwargs={"iterations": 2}
+        )
+        with pytest.raises(ReproError):
+            project_cluster(result, nodes=4)
+
+    def test_panthera_amplifies_less_than_unmanaged(self, results):
+        """The §5.2 prediction: Panthera's GC advantage grows with
+        cluster size."""
+        k = 32
+        unmanaged = project_cluster(results["unmanaged"], nodes=k)
+        panthera = project_cluster(results["panthera"], nodes=k)
+        unmanaged_penalty = unmanaged.cluster_s - unmanaged.single_node_s
+        panthera_penalty = panthera.cluster_s - panthera.single_node_s
+        assert panthera_penalty < unmanaged_penalty
+
+    def test_projection_consistent_with_single_node(self, results):
+        projection = project_cluster(results["panthera"], nodes=1)
+        assert projection.cluster_s == pytest.approx(
+            results["panthera"].elapsed_s, rel=0.01
+        )

@@ -1,0 +1,81 @@
+"""Tests for SparkContext wiring and the mutator cost-model helpers."""
+
+import pytest
+
+from repro.config import MiB, PolicyName
+from repro.spark.costmodel import MutatorCosts
+from repro.workloads.datasets import powerlaw_graph
+from tests.conftest import small_config, small_context
+
+
+class TestMutatorCosts:
+    def test_array_bytes_share(self):
+        costs = MutatorCosts()
+        assert costs.array_bytes_for(10 * MiB) == pytest.approx(
+            10 * MiB * costs.array_share
+        )
+
+    def test_array_bytes_floor(self):
+        assert MutatorCosts().array_bytes_for(10) == 512
+
+    def test_hash_probes(self):
+        costs = MutatorCosts()
+        assert costs.hash_probes_for(costs.hash_grain_bytes * 10) == 10
+        assert costs.hash_probes_for(0) == 0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MutatorCosts().cpu_ns_per_byte = 99
+
+
+class TestSparkContextWiring:
+    def test_sources_cached_by_dataset_name(self):
+        ctx = small_context()
+        ds = powerlaw_graph("cache-me", 20, 60, total_bytes=MiB)
+        a = ctx.source_rdd(ds)
+        b = ctx.source_rdd(ds)
+        assert a is b
+
+    def test_different_datasets_not_conflated(self):
+        ctx = small_context()
+        a = ctx.source_rdd(powerlaw_graph("x", 20, 60, total_bytes=MiB))
+        b = ctx.source_rdd(powerlaw_graph("y", 20, 60, total_bytes=MiB))
+        assert a is not b
+
+    def test_rdd_ids_unique_and_registered(self):
+        ctx = small_context()
+        rdds = [
+            ctx.parallelize([(1, 1)], 1, MiB, name=f"r{i}") for i in range(5)
+        ]
+        ids = {r.id for r in rdds}
+        assert len(ids) == 5
+        for rdd in rdds:
+            assert ctx.rdd_by_id(rdd.id) is rdd
+
+    def test_panthera_enabled_flag(self):
+        assert small_context(PolicyName.PANTHERA).panthera_enabled
+        assert not small_context(PolicyName.UNMANAGED).panthera_enabled
+
+    def test_monitor_only_under_panthera(self):
+        assert small_context(PolicyName.PANTHERA).monitor is not None
+        assert small_context(PolicyName.DRAM_ONLY).monitor is None
+
+    def test_on_rdd_call_gated_by_persistence(self):
+        ctx = small_context(PolicyName.PANTHERA)
+        plain = ctx.parallelize([(1, 1)], 1, MiB, name="plain")
+        before = ctx.monitor.total_calls
+        ctx.on_rdd_call(plain)  # not persisted, not cached: ignored
+        assert ctx.monitor.total_calls == before
+        plain.persist()
+        assert ctx.monitor.total_calls == before + 1  # persist() itself counts
+        ctx.on_rdd_call(plain)
+        assert ctx.monitor.total_calls == before + 2
+
+    def test_custom_policy_injection(self):
+        from repro.gc.policies import DramOnlyPolicy
+        from repro.spark.context import SparkContext
+
+        config = small_config(PolicyName.DRAM_ONLY)
+        custom = DramOnlyPolicy(config)
+        ctx = SparkContext.create(config, policy=custom)
+        assert ctx.policy is custom

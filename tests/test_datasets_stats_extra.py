@@ -1,0 +1,89 @@
+"""Tests for edge-list loading, the bundled graph and pause percentiles."""
+
+import pathlib
+
+import networkx as nx
+import pytest
+
+from repro.config import MiB, PolicyName
+from repro.core.static_analysis import analyze_program
+from repro.gc.stats import GCStats
+from repro.spark.program import execute_program
+from repro.workloads.datasets import from_edge_list
+from repro.workloads.graphx import build_connected_components
+from tests.conftest import small_context
+
+KARATE = pathlib.Path(__file__).resolve().parents[1] / "data" / "karate.edges"
+
+
+class TestEdgeListLoading:
+    def test_karate_club_loads(self):
+        ds = from_edge_list(KARATE, total_bytes=8 * MiB)
+        assert len(ds.records) == 78
+        assert ds.name == "karate.edges"
+        vertices = {v for edge in ds.records for v in edge}
+        assert len(vertices) == 34
+
+    def test_total_bytes_assigned(self):
+        ds = from_edge_list(KARATE, total_bytes=8 * MiB, name="k")
+        assert ds.total_bytes == 8 * MiB
+        assert ds.bytes_per_record == pytest.approx(8 * MiB / 78)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# header\n\n1 2\n2 3  \n# trailing\n")
+        ds = from_edge_list(path, total_bytes=MiB)
+        assert ds.records == ((1, 2), (2, 3))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError):
+            from_edge_list(path, total_bytes=MiB)
+
+    def test_karate_cc_matches_networkx(self):
+        """A real dataset through a real workload: the karate club is one
+        connected component."""
+        ds = from_edge_list(KARATE, total_bytes=8 * MiB)
+        spec = build_connected_components(dataset=ds, iterations=6)
+        ctx = small_context(PolicyName.PANTHERA)
+        tags = analyze_program(spec.program).tags
+        results = execute_program(spec.program, ctx, tags)
+        labels = {label for _, (label, _) in results["components"]}
+        graph = nx.Graph()
+        graph.add_edges_from(ds.records)
+        assert len(labels) == nx.number_connected_components(graph) == 1
+
+
+class TestPausePercentiles:
+    def make_stats(self):
+        stats = GCStats()
+        for i in range(1, 11):
+            stats.record_minor(i * 1e9, i * 1e6)  # 1..10 ms
+        stats.record_major(99e9, 100e6)  # 100 ms
+        return stats
+
+    def test_max_pause(self):
+        assert self.make_stats().max_pause_ms() == pytest.approx(100.0)
+
+    def test_median_pause(self):
+        stats = self.make_stats()
+        assert 5.0 <= stats.pause_percentile(0.5) <= 7.0
+
+    def test_kind_filter(self):
+        stats = self.make_stats()
+        assert stats.pause_percentile(1.0, kind="minor") == pytest.approx(10.0)
+        assert stats.pause_percentile(1.0, kind="major") == pytest.approx(100.0)
+
+    def test_mean_pause(self):
+        stats = self.make_stats()
+        expected = (sum(range(1, 11)) + 100) / 11
+        assert stats.mean_pause_ms() == pytest.approx(expected)
+
+    def test_empty_stats(self):
+        assert GCStats().pause_percentile(0.99) == 0.0
+        assert GCStats().mean_pause_ms() == 0.0
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            GCStats().pause_percentile(1.5)

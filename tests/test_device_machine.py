@@ -1,0 +1,148 @@
+"""Tests for the device cost model and the machine's batch semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import (
+    CACHE_LINE_BYTES,
+    DRAM_SPEC,
+    NVM_SPEC,
+    DeviceKind,
+    GiB,
+)
+from repro.memory.device import MemoryDevice
+from repro.memory.machine import Machine, Traffic, TrafficSet
+from tests.conftest import small_config
+
+
+class TestDeviceCostModel:
+    def make(self, spec=DRAM_SPEC):
+        return MemoryDevice(spec, capacity_bytes=GiB)
+
+    def test_pure_streaming_is_bandwidth_bound(self):
+        device = self.make()
+        ns = device.batch_ns(read_bytes=30 * GiB)
+        # 30 GiB at 30 GB/s is just over one second (GiB vs GB).
+        assert ns == pytest.approx(30 * GiB / 30.0, rel=1e-9)
+
+    def test_pure_random_is_latency_bound(self):
+        device = self.make()
+        ns = device.batch_ns(random_reads=1000, threads=1, mlp=1)
+        assert ns == pytest.approx(1000 * 120.0)
+
+    def test_threads_and_mlp_divide_latency(self):
+        device = self.make()
+        serial = device.batch_ns(random_reads=1000, threads=1, mlp=1)
+        parallel = device.batch_ns(random_reads=1000, threads=4, mlp=2)
+        assert parallel == pytest.approx(serial / 8)
+
+    def test_threads_do_not_help_bandwidth(self):
+        device = self.make()
+        one = device.batch_ns(read_bytes=GiB, threads=1)
+        many = device.batch_ns(read_bytes=GiB, threads=16)
+        assert one == many
+
+    def test_nvm_streaming_three_times_slower_than_dram(self):
+        dram = self.make(DRAM_SPEC)
+        nvm = self.make(NVM_SPEC)
+        ratio = nvm.batch_ns(read_bytes=GiB) / dram.batch_ns(read_bytes=GiB)
+        assert ratio == pytest.approx(3.0)
+
+    def test_mixed_batch_takes_max_of_components(self):
+        device = self.make()
+        lat = device.batch_ns(random_reads=10**6, threads=1, mlp=1)
+        combo = device.batch_ns(read_bytes=1024, random_reads=10**6, threads=1, mlp=1)
+        assert combo == lat
+
+    def test_record_accumulates_bytes(self):
+        device = self.make()
+        device.record(read_bytes=100, write_bytes=50)
+        device.record(random_reads=2)
+        assert device.counters.read_bytes == 100 + 2 * CACHE_LINE_BYTES
+        assert device.counters.write_bytes == 50
+        assert device.counters.random_reads == 2
+
+    def test_static_power_scales_with_capacity(self):
+        small = MemoryDevice(DRAM_SPEC, GiB)
+        large = MemoryDevice(DRAM_SPEC, 4 * GiB)
+        assert large.static_power_w() == pytest.approx(4 * small.static_power_w())
+
+    def test_dynamic_energy_from_lines(self):
+        device = self.make()
+        device.record(read_bytes=CACHE_LINE_BYTES * 10)
+        assert device.dynamic_energy_pj() == pytest.approx(
+            10 * DRAM_SPEC.read_energy_pj
+        )
+
+    @given(
+        read=st.floats(min_value=0, max_value=1e12),
+        write=st.floats(min_value=0, max_value=1e12),
+        rr=st.integers(min_value=0, max_value=10**7),
+    )
+    def test_batch_time_nonnegative_and_monotone(self, read, write, rr):
+        device = self.make()
+        base = device.batch_ns(read_bytes=read, write_bytes=write, random_reads=rr)
+        more = device.batch_ns(
+            read_bytes=read * 2, write_bytes=write, random_reads=rr
+        )
+        assert base >= 0
+        assert more >= base
+
+
+class TestMachine:
+    def make(self):
+        return Machine(small_config())
+
+    def test_access_advances_clock(self):
+        machine = self.make()
+        machine.access(DeviceKind.DRAM, read_bytes=30 * GiB)
+        assert machine.clock.now_ns > 0
+
+    def test_devices_run_concurrently(self):
+        machine = self.make()
+        traffic = TrafficSet()
+        traffic.add(DeviceKind.DRAM, read_bytes=3 * GiB)
+        traffic.add(DeviceKind.NVM, read_bytes=GiB)
+        duration = machine.run_batch(traffic.per_device)
+        # DRAM: 3 GiB / 30 GB/s; NVM: 1 GiB / 10 GB/s — equal; the batch
+        # takes the max, not the sum.
+        assert duration == pytest.approx(GiB / 10.0, rel=1e-9)
+
+    def test_cpu_component_can_dominate(self):
+        machine = self.make()
+        duration = machine.run_batch({}, cpu_ns=12345.0)
+        assert duration == pytest.approx(12345.0)
+
+    def test_transfer_is_pipelined(self):
+        machine = self.make()
+        duration = machine.transfer(DeviceKind.DRAM, DeviceKind.NVM, GiB)
+        # Bound by the slower side (NVM write at 10 GB/s).
+        assert duration == pytest.approx(GiB / 10.0, rel=1e-9)
+
+    def test_energy_counts_traffic(self):
+        machine = self.make()
+        machine.access(DeviceKind.NVM, write_bytes=GiB)
+        breakdown = machine.energy_breakdown()
+        assert breakdown[DeviceKind.NVM].dynamic_j > 0
+
+    def test_bandwidth_traces_recorded(self):
+        machine = self.make()
+        machine.access(DeviceKind.DRAM, read_bytes=GiB)
+        assert machine.bandwidth.total_bytes(DeviceKind.DRAM, False) == pytest.approx(
+            GiB
+        )
+
+    def test_empty_traffic_is_skipped(self):
+        machine = self.make()
+        machine.run_batch({DeviceKind.DRAM: Traffic()})
+        assert machine.clock.now_ns == 0
+        assert machine.bandwidth.series(DeviceKind.DRAM, False) == []
+
+    def test_traffic_merged(self):
+        a = Traffic(read_bytes=10, random_writes=1)
+        b = Traffic(write_bytes=5, random_reads=2)
+        merged = a.merged(b)
+        assert merged.read_bytes == 10
+        assert merged.write_bytes == 5
+        assert merged.random_reads == 2
+        assert merged.random_writes == 1

@@ -1,0 +1,104 @@
+"""Tests for the Quartz-style emulation methodology module (§5.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import DRAM_SPEC, NVM_SPEC
+from repro.errors import ConfigError
+from repro.memory.emulator import (
+    EmulationPlan,
+    HostProfile,
+    emulated_epoch_times,
+    emulation_error,
+    inject_delays,
+    plan_emulation,
+)
+
+
+class TestPlanEmulation:
+    def test_paper_configuration_uses_remote_memory_directly(self):
+        # §5.1: remote latency is 2.6x local, NVM target is 2.5x — remote
+        # memory alone suffices, no extra delay injection.
+        plan = plan_emulation()
+        assert plan.use_remote_memory
+        assert plan.residual_delay_factor == pytest.approx(0.0)
+        assert plan.effective_latency_ns >= NVM_SPEC.read_latency_ns
+
+    def test_latency_scale_matches_table2(self):
+        plan = plan_emulation()
+        assert plan.latency_scale == pytest.approx(300.0 / 120.0)
+
+    def test_throttle_register_hits_10gbps(self):
+        plan = plan_emulation()
+        assert plan.throttle_register_gbps == pytest.approx(10.0)
+        assert plan.effective_bandwidth_gbps <= DRAM_SPEC.read_bandwidth_gbps
+
+    def test_slow_target_needs_residual_delay(self):
+        host = HostProfile(remote_latency_ns=150.0)  # only 1.25x remote
+        plan = plan_emulation(host)
+        assert plan.residual_delay_factor > 0
+        assert plan.effective_latency_ns == pytest.approx(
+            NVM_SPEC.read_latency_ns, rel=1e-6
+        )
+
+    def test_throttle_respects_step_granularity(self):
+        host = HostProfile(throttle_step_gbps=3.0)
+        plan = plan_emulation(host)
+        assert plan.throttle_register_gbps % 3.0 == pytest.approx(0.0)
+        assert plan.throttle_register_gbps <= NVM_SPEC.read_bandwidth_gbps
+
+    def test_invalid_host_rejected(self):
+        with pytest.raises(ConfigError):
+            HostProfile(local_latency_ns=300.0, remote_latency_ns=120.0)
+        with pytest.raises(ConfigError):
+            HostProfile(local_bandwidth_gbps=0)
+
+
+class TestDelayInjection:
+    def plan_with_residual(self) -> EmulationPlan:
+        return plan_emulation(HostProfile(remote_latency_ns=150.0))
+
+    def test_no_injection_when_remote_suffices(self):
+        plan = plan_emulation()
+        assert inject_delays([1000.0, 2000.0], plan) == [0.0, 0.0]
+
+    def test_injection_proportional_to_stall(self):
+        plan = self.plan_with_residual()
+        delays = inject_delays([1000.0, 2000.0], plan)
+        assert delays[1] == pytest.approx(2 * delays[0])
+        assert delays[0] > 0
+
+    def test_negative_stall_clamped(self):
+        plan = self.plan_with_residual()
+        assert inject_delays([-5.0], plan) == [0.0]
+
+    def test_epoch_times_stretch(self):
+        plan = self.plan_with_residual()
+        times = emulated_epoch_times(100_000.0, [0.0, 50_000.0], plan)
+        assert times[0] == pytest.approx(100_000.0)
+        assert times[1] > 100_000.0
+
+    @given(stalls=st.lists(st.floats(min_value=0, max_value=1e9), max_size=50))
+    def test_scaled_stall_matches_quartz_formula(self, stalls):
+        # Quartz: total observed stall = S x NVM/DRAM.  With the remote
+        # baseline at remote_scale, stall_on_remote x (1 + residual)
+        # equals S_local x latency_scale.
+        host = HostProfile(remote_latency_ns=150.0)
+        plan = plan_emulation(host)
+        for stall in stalls:
+            injected = stall * plan.residual_delay_factor
+            remote_scale = host.remote_latency_ns / host.local_latency_ns
+            assert stall + injected == pytest.approx(
+                stall * plan.latency_scale / remote_scale, rel=1e-9
+            )
+
+
+class TestEmulationError:
+    def test_paper_config_bandwidth_exact(self):
+        errors = emulation_error(plan_emulation())
+        assert errors["bandwidth_error"] == pytest.approx(0.0)
+
+    def test_paper_config_latency_within_10_percent(self):
+        # 2.6x remote vs 2.5x target: within the accuracy Quartz reports.
+        errors = emulation_error(plan_emulation())
+        assert errors["latency_error"] <= 0.10

@@ -1,0 +1,30 @@
+"""Every example script must run end to end (no doc rot)."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "pagerank_hybrid",
+        "hashjoin_pretenure",
+        "static_analysis_tour",
+        "wordcount_mapreduce",
+        "custom_policy",
+        "memtable_cassandra",
+    } <= names

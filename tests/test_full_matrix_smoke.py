@@ -1,0 +1,34 @@
+"""The full workload x policy matrix at tiny scale: everything runs,
+every heap ends structurally consistent, every result is sane."""
+
+import pytest
+
+from repro.config import PolicyName
+from repro.harness.configs import paper_config
+from repro.harness.experiment import run_experiment
+from repro.heap.verify import verify_heap
+from repro.workloads.registry import WORKLOADS
+
+SCALE = 0.02
+ALL_POLICIES = list(PolicyName)
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.value)
+def test_matrix_cell(workload, policy):
+    config = paper_config(64, 1 / 3, policy, SCALE)
+    result = run_experiment(workload, config, scale=SCALE, keep_context=True)
+    assert result.elapsed_s > 0
+    assert result.energy_j > 0
+    assert result.mutator_s >= 0
+    assert result.minor_gcs >= 0
+    assert verify_heap(result.context.heap) == []
+    # Panthera-only machinery stays off elsewhere (Kingsguard-Writes has
+    # its own write-driven migrations, so only monitoring is asserted).
+    if policy is not PolicyName.PANTHERA:
+        assert result.monitored_calls == 0
+        if policy is not PolicyName.KINGSGUARD_WRITES:
+            assert result.migrated_rdds == 0
+    # Only the stock (unpadded) layouts can suffer stuck rescans.
+    if policy is PolicyName.PANTHERA:
+        assert result.stuck_rescans == 0

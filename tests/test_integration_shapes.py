@@ -1,0 +1,153 @@
+"""Integration tests asserting the paper's qualitative result shapes.
+
+These use a small scale (fast) and assert *orderings and directions*, not
+absolute numbers — exactly what the reproduction claims to preserve.
+"""
+
+import pytest
+
+from repro.config import DeviceKind, PolicyName
+from repro.harness.configs import fig4_configs, paper_config, write_rationing_configs
+from repro.harness.experiment import run_experiment
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def pr_results():
+    return {
+        key: run_experiment("PR", cfg, scale=SCALE)
+        for key, cfg in fig4_configs(SCALE).items()
+    }
+
+
+@pytest.fixture(scope="module")
+def km_results():
+    return {
+        key: run_experiment("KM", cfg, scale=SCALE)
+        for key, cfg in fig4_configs(SCALE).items()
+    }
+
+
+class TestHeadlineShapes:
+    def test_unmanaged_slower_than_dram_only(self, pr_results, km_results):
+        for results in (pr_results, km_results):
+            assert results["unmanaged"].elapsed_s > results["dram-only"].elapsed_s
+
+    def test_panthera_faster_than_unmanaged(self, pr_results, km_results):
+        for results in (pr_results, km_results):
+            assert results["panthera"].elapsed_s < results["unmanaged"].elapsed_s
+
+    def test_panthera_time_near_dram_only(self, pr_results):
+        ratio = pr_results["panthera"].elapsed_s / pr_results["dram-only"].elapsed_s
+        assert 0.8 <= ratio <= 1.1
+
+    def test_hybrid_saves_energy(self, pr_results, km_results):
+        for results in (pr_results, km_results):
+            base = results["dram-only"].energy_j
+            assert results["unmanaged"].energy_j < base
+            assert results["panthera"].energy_j < base
+
+    def test_panthera_energy_at_most_unmanaged(self, pr_results, km_results):
+        for results in (pr_results, km_results):
+            assert (
+                results["panthera"].energy_j
+                <= results["unmanaged"].energy_j * 1.02
+            )
+
+    def test_unmanaged_gc_penalty_large(self, pr_results, km_results):
+        # §5.3: the unmanaged GC overhead dwarfs its mutator overhead.
+        for results in (pr_results, km_results):
+            gc_ratio = results["unmanaged"].gc_s / results["dram-only"].gc_s
+            assert gc_ratio > 1.2
+
+    def test_panthera_gc_beats_unmanaged_gc(self, pr_results, km_results):
+        for results in (pr_results, km_results):
+            assert results["panthera"].gc_s < results["unmanaged"].gc_s
+
+
+class TestCardPaddingEffects:
+    def test_stock_policies_suffer_stuck_rescans(self, pr_results):
+        assert pr_results["dram-only"].stuck_rescans > 0
+        assert pr_results["unmanaged"].stuck_rescans > 0
+
+    def test_panthera_padding_eliminates_stuck_rescans(self, pr_results):
+        assert pr_results["panthera"].stuck_rescans == 0
+
+    def test_padding_ablation_increases_gc(self):
+        base_cfg = paper_config(64, 1 / 3, PolicyName.PANTHERA, SCALE)
+        no_pad = base_cfg.replace(card_padding=False)
+        with_pad = run_experiment("PR", base_cfg, scale=SCALE)
+        without = run_experiment("PR", no_pad, scale=SCALE)
+        assert without.gc_s > with_pad.gc_s
+
+    def test_eager_promotion_ablation_increases_gc(self):
+        base_cfg = paper_config(64, 1 / 3, PolicyName.PANTHERA, SCALE)
+        no_eager = base_cfg.replace(eager_promotion=False)
+        with_eager = run_experiment("PR", base_cfg, scale=SCALE)
+        without = run_experiment("PR", no_eager, scale=SCALE)
+        assert without.gc_s >= with_eager.gc_s * 0.95
+
+
+class TestTable5Shapes:
+    def test_only_graphx_migrates(self):
+        # Needs enough pressure for major GCs: use the bench scale.
+        scale = 0.1
+        migrations = {}
+        for wl in ("KM", "CC"):
+            cfg = paper_config(64, 1 / 3, PolicyName.PANTHERA, scale)
+            result = run_experiment(wl, cfg, scale=scale)
+            migrations[wl] = result.migrated_rdds
+        assert migrations["CC"] >= 1
+        assert migrations["KM"] == 0
+
+    def test_monitoring_overhead_below_one_percent(self):
+        cfg = paper_config(64, 1 / 3, PolicyName.PANTHERA, SCALE)
+        result = run_experiment("PR", cfg, scale=SCALE, keep_context=True)
+        overhead = result.context.monitor.overhead_ns / 1e9
+        assert overhead < 0.01 * result.elapsed_s
+
+    def test_graphx_monitored_calls_exceed_pr(self):
+        cfg = paper_config(64, 1 / 3, PolicyName.PANTHERA, SCALE)
+        pr = run_experiment("PR", cfg, scale=SCALE)
+        cc = run_experiment(
+            "CC", paper_config(64, 1 / 3, PolicyName.PANTHERA, SCALE), scale=SCALE
+        )
+        assert cc.monitored_calls > 0
+        assert pr.monitored_calls > 0
+
+
+class TestWriteRationingComparison:
+    def test_kingsguard_worse_than_panthera(self):
+        results = {
+            key: run_experiment("KM", cfg, scale=SCALE)
+            for key, cfg in write_rationing_configs(SCALE).items()
+        }
+        # §5.2: Write Rationing incurs much larger overheads on Spark
+        # because persisted RDDs are read-mostly and land in NVM.
+        assert results["kingsguard-nursery"].elapsed_s > results["panthera"].elapsed_s
+        assert results["kingsguard-writes"].elapsed_s > results["panthera"].elapsed_s
+
+
+class TestBandwidthTraces:
+    def test_panthera_shifts_traffic_off_nvm(self):
+        results = {}
+        for pol in ("unmanaged", "panthera"):
+            cfg = fig4_configs(SCALE)[pol]
+            results[pol] = run_experiment(
+                "CC", cfg, scale=SCALE, keep_context=True
+            )
+        unm_nvm = results["unmanaged"].context.machine.bandwidth.total_bytes(
+            DeviceKind.NVM, False
+        )
+        pan_nvm = results["panthera"].context.machine.bandwidth.total_bytes(
+            DeviceKind.NVM, False
+        )
+        assert pan_nvm < unm_nvm
+
+    def test_dram_only_never_touches_nvm(self):
+        cfg = fig4_configs(SCALE)["dram-only"]
+        result = run_experiment("PR", cfg, scale=SCALE, keep_context=True)
+        bw = result.context.machine.bandwidth
+        assert bw.total_bytes(DeviceKind.NVM, False) == 0
+        assert bw.total_bytes(DeviceKind.NVM, True) == 0

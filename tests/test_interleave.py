@@ -1,0 +1,79 @@
+"""Tests for the unmanaged baseline's chunk interleaving (§5.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import DeviceKind, MiB
+from repro.memory.interleave import ChunkMap
+
+
+class TestChunkMap:
+    def make(self, p=0.25, size=64 * MiB, chunk=MiB, seed=1):
+        return ChunkMap(base=0, size=size, chunk_bytes=chunk, dram_probability=p, seed=seed)
+
+    def test_deterministic_for_same_seed(self):
+        a, b = self.make(seed=7), self.make(seed=7)
+        for addr in range(0, 64 * MiB, MiB):
+            assert a.device_of(addr) == b.device_of(addr)
+
+    def test_different_seeds_differ(self):
+        a, b = self.make(seed=1), self.make(seed=2)
+        diffs = sum(
+            a.device_of(addr) != b.device_of(addr)
+            for addr in range(0, 64 * MiB, MiB)
+        )
+        assert diffs > 0
+
+    def test_probability_extremes(self):
+        all_dram = self.make(p=1.0)
+        all_nvm = self.make(p=0.0)
+        assert all_dram.dram_fraction() == 1.0
+        assert all_nvm.dram_fraction() == 0.0
+
+    def test_dram_fraction_near_probability(self):
+        chunk_map = ChunkMap(0, 4000 * MiB, MiB, dram_probability=0.25, seed=3)
+        assert 0.18 <= chunk_map.dram_fraction() <= 0.32
+
+    def test_out_of_range_address_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().device_of(64 * MiB)
+
+    def test_split_range_covers_length(self):
+        chunk_map = self.make()
+        pieces = chunk_map.split_range(100, 10 * MiB)
+        assert sum(n for _, n in pieces) == 10 * MiB
+
+    def test_split_range_merges_adjacent_same_device(self):
+        chunk_map = self.make(p=1.0)
+        pieces = chunk_map.split_range(0, 10 * MiB)
+        assert pieces == [(DeviceKind.DRAM, 10 * MiB)]
+
+    def test_split_range_zero_length(self):
+        assert self.make().split_range(0, 0) == []
+
+    def test_negative_split_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().split_range(0, -1)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(p=1.5)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkMap(0, 0, MiB, 0.5)
+
+    @given(
+        addr=st.integers(min_value=0, max_value=63 * MiB),
+        length=st.integers(min_value=0, max_value=MiB * 8),
+    )
+    def test_split_conserves_bytes(self, addr, length):
+        chunk_map = self.make()
+        length = min(length, 64 * MiB - addr)
+        pieces = chunk_map.split_range(addr, length)
+        assert sum(n for _, n in pieces) == length
+        # Each piece's device matches device_of at its start.
+        pos = addr
+        for device, nbytes in pieces:
+            assert chunk_map.device_of(pos) == device
+            pos += nbytes

@@ -1,0 +1,106 @@
+"""Backward tag propagation to ShuffledRDDs (§3, 'Dealing with ShuffledRDD')."""
+
+import pytest
+
+from repro.core.lineage_propagation import propagate_tags
+from repro.core.tags import MemoryTag
+from repro.spark.rdd import ShuffledRDD
+from repro.spark.storage import StorageLevel
+from tests.conftest import small_context
+
+
+@pytest.fixture
+def ctx():
+    return small_context()
+
+
+def base(ctx, n=8):
+    return ctx.parallelize([(i % 4, i) for i in range(n)], 2, 2**20, name="base")
+
+
+class TestPropagation:
+    def test_tag_reaches_shuffled_stage_input(self, ctx):
+        shuffled = base(ctx).reduce_by_key(lambda a, b: a + b)
+        terminal = shuffled.map_values(lambda v: v).flat_map(lambda r: [r])
+        assignments = {}
+        propagate_tags(terminal, MemoryTag.NVM, assignments)
+        assert assignments[shuffled.id] is MemoryTag.NVM
+        assert assignments[terminal.id] is MemoryTag.NVM
+
+    def test_walk_stops_at_shuffle_boundary(self, ctx):
+        upstream = base(ctx).map(lambda r: r)
+        shuffled = upstream.group_by_key()
+        terminal = shuffled.map_values(len)
+        assignments = {}
+        propagate_tags(terminal, MemoryTag.DRAM, assignments)
+        # The RDD behind the shuffle belongs to the previous stage.
+        assert upstream.id not in assignments
+
+    def test_walk_stops_at_persisted_parents(self, ctx):
+        cached = base(ctx).map(lambda r: r)
+        cached.persist(StorageLevel.MEMORY_ONLY)
+        terminal = cached.map(lambda r: r)
+        assignments = {}
+        propagate_tags(terminal, MemoryTag.NVM, assignments)
+        assert cached.id not in assignments  # keeps its own static tag
+
+    def test_conflicts_resolve_dram_first(self, ctx):
+        shuffled = base(ctx).reduce_by_key(lambda a, b: a + b)
+        downstream = shuffled.map_values(lambda v: v)
+        assignments = {}
+        propagate_tags(downstream, MemoryTag.NVM, assignments)
+        propagate_tags(downstream, MemoryTag.DRAM, assignments)
+        assert assignments[shuffled.id] is MemoryTag.DRAM
+        # And NVM never downgrades an existing DRAM assignment.
+        propagate_tags(downstream, MemoryTag.NVM, assignments)
+        assert assignments[shuffled.id] is MemoryTag.DRAM
+
+    def test_intermediate_narrow_rdds_tagged(self, ctx):
+        shuffled = base(ctx).group_by_key()
+        mid = shuffled.map_values(len)
+        terminal = mid.map(lambda r: r)
+        assignments = {}
+        propagate_tags(terminal, MemoryTag.NVM, assignments)
+        assert assignments[mid.id] is MemoryTag.NVM
+
+    def test_pagerank_shape(self, ctx):
+        """Figure 2(b): contribs' NVM tag reaches ShuffledRDD[8] but not
+        the persisted links."""
+        links = base(ctx).group_by_key()
+        links.persist(StorageLevel.MEMORY_ONLY)
+        ranks_shuffled = base(ctx).reduce_by_key(lambda a, b: a + b)
+        ranks = ranks_shuffled.map_values(lambda v: v)
+        contribs = links.join(ranks).values().flat_map(lambda r: [r])
+        assignments = {}
+        propagate_tags(contribs, MemoryTag.NVM, assignments)
+        assert assignments[ranks_shuffled.id] is MemoryTag.NVM
+        assert links.id not in assignments
+
+    def test_runtime_uses_propagated_tag_for_transients(self, ctx):
+        """End-to-end: a materialised ShuffledRDD transient lands in the
+        space its propagated tag names."""
+        from repro.spark.program import Program, execute_program
+
+        from repro.workloads.datasets import powerlaw_graph
+
+        ds = powerlaw_graph("prop-e2e", 20, 60, total_bytes=6 * 2**20, seed=2)
+        p = Program()
+        edges = p.let("edges", p.source(ds))
+        anchor = p.let(
+            "anchor", edges.map(lambda r: r).persist(StorageLevel.MEMORY_ONLY)
+        )
+        agg = p.let(
+            "agg",
+            edges.map(lambda r: r)
+            .reduce_by_key(lambda a, b: a)
+            .map(lambda r: r)
+            .persist(StorageLevel.MEMORY_ONLY),
+        )
+        with p.loop(2):
+            p.let("use", anchor.join(agg))
+        p.action(p.let("n", anchor.map(lambda r: r)), "count")
+        from repro.core.static_analysis import analyze_program
+
+        analysis = analyze_program(p)
+        execute_program(p, ctx, analysis.tags)
+        assert ctx.scheduler.runtime_tags  # propagation happened

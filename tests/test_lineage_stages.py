@@ -1,0 +1,95 @@
+"""Stage-DAG construction tests: Figure 2(b)'s structure made explicit."""
+
+import pytest
+
+from repro.spark.lineage import build_stages, lineage_string, stage_summary
+from repro.spark.rdd import ShuffledRDD
+from repro.spark.storage import StorageLevel
+from tests.conftest import small_context
+
+
+@pytest.fixture
+def ctx():
+    return small_context()
+
+
+def base(ctx, n=8, name="src"):
+    return ctx.parallelize([(i % 4, i) for i in range(n)], 2, 2**20, name=name)
+
+
+class TestBuildStages:
+    def test_narrow_only_is_single_stage(self, ctx):
+        rdd = base(ctx).map(lambda r: r).filter(lambda r: True)
+        stages = build_stages(rdd)
+        assert len(stages) == 1
+        assert stages[0].shuffle_inputs == []
+
+    def test_one_shuffle_makes_two_stages(self, ctx):
+        rdd = base(ctx).group_by_key().map_values(len)
+        stages = build_stages(rdd)
+        assert len(stages) == 2
+        result_stage = stages[-1]
+        assert result_stage.parent_stages == [0]
+        assert len(result_stage.shuffle_inputs) == 1
+
+    def test_chained_shuffles_are_chained_stages(self, ctx):
+        rdd = (
+            base(ctx)
+            .reduce_by_key(lambda a, b: a + b)
+            .map(lambda r: r)
+            .group_by_key()
+        )
+        stages = build_stages(rdd)
+        assert len(stages) == 3
+        assert stages[2].parent_stages == [1]
+        assert stages[1].parent_stages == [0]
+
+    def test_pagerank_stage_shape(self, ctx):
+        """Figure 2(b): the persisted, pre-partitioned links joins
+        narrowly — only the ranks side shuffles into the stage."""
+        links = base(ctx, name="links").group_by_key()
+        links.persist(StorageLevel.MEMORY_ONLY)
+        ranks = links.map_values(lambda v: 1.0)
+        contribs = links.join(ranks).values().flat_map(lambda r: [r])
+        new_ranks = contribs.reduce_by_key(lambda a, b: a + b)
+        stages = build_stages(new_ranks)
+        result = stages[-1]
+        # links (a ShuffledRDD) is a stage input of the contribs stage;
+        # the join's ranks side is narrow (co-partitioned).
+        contribs_stage = stages[-2]
+        shuffled_ids = {r.id for r in contribs_stage.shuffle_inputs}
+        assert links.id in shuffled_ids
+        assert result.parent_stages == [contribs_stage.stage_id]
+
+    def test_shared_shuffle_visited_once(self, ctx):
+        grouped = base(ctx).group_by_key()
+        left = grouped.map_values(len)
+        right = grouped.map_values(sum)
+        joined = left.join(right)
+        stages = build_stages(joined)
+        map_stages = [s for s in stages if s.output is grouped.deps[0].parent]
+        assert len(map_stages) == 1
+
+
+class TestRendering:
+    def test_lineage_string_marks_persisted_and_shuffles(self, ctx):
+        cached = base(ctx).map(lambda r: r)
+        cached.persist(StorageLevel.MEMORY_ONLY)
+        rdd = cached.group_by_key()
+        text = lineage_string(rdd)
+        assert "[persisted]" in text
+        assert "+-(shuffle" in text
+        assert "ShuffledRDD" in text
+
+    def test_lineage_string_handles_diamonds(self, ctx):
+        shared = base(ctx).map(lambda r: r)
+        joined = shared.join(shared.map_values(lambda v: v))
+        text = lineage_string(joined)
+        assert "(...)" in text  # the shared subtree printed once
+
+    def test_stage_summary_lists_all_stages(self, ctx):
+        rdd = base(ctx).group_by_key().map_values(len).group_by_key()
+        stages = build_stages(rdd)
+        text = stage_summary(stages)
+        for stage in stages:
+            assert f"Stage {stage.stage_id}:" in text

@@ -1,0 +1,162 @@
+"""Minor-collection tests: aging, promotion, eager promotion, tag
+propagation and card hygiene (§4.2.2)."""
+
+import pytest
+
+from repro.config import MiB, PolicyName
+from repro.core.tags import MEMORY_BITS_NVM, MemoryTag
+from repro.heap.object_model import ObjKind
+from tests.conftest import make_stack
+
+
+def alloc_rooted(stack, size=1024, kind=ObjKind.DATA):
+    obj = stack.heap.new_object(kind, size)
+    stack.heap.add_root(obj)
+    return obj
+
+
+class TestSurvivorAging:
+    def test_live_young_object_survives(self, dram_stack):
+        obj = alloc_rooted(dram_stack)
+        dram_stack.collector.collect_minor()
+        assert obj.space is not None
+        assert dram_stack.heap.in_young(obj)
+        assert obj.age == 1
+
+    def test_unreferenced_object_dies(self, dram_stack):
+        heap = dram_stack.heap
+        obj = heap.new_object(ObjKind.DATA, 1024)  # never rooted
+        dram_stack.collector.collect_minor()
+        assert obj not in heap.survivor_from.objects
+        assert obj not in heap.survivor_to.objects
+
+    def test_eden_reset_after_scavenge(self, dram_stack):
+        dram_stack.heap.allocate_ephemeral(MiB)
+        dram_stack.collector.collect_minor()
+        assert dram_stack.heap.eden.used == 0
+
+    def test_survivor_spaces_flip(self, dram_stack):
+        heap = dram_stack.heap
+        before_from = heap.survivor_from
+        dram_stack.collector.collect_minor()
+        assert heap.survivor_from is not before_from
+
+    def test_promotion_after_tenuring_threshold(self, dram_stack):
+        threshold = dram_stack.config.tenuring_threshold
+        obj = alloc_rooted(dram_stack)
+        for _ in range(threshold):
+            dram_stack.collector.collect_minor()
+        assert dram_stack.heap.in_old(obj)
+
+    def test_minor_count_recorded(self, dram_stack):
+        dram_stack.collector.collect_minor()
+        stats = dram_stack.collector.stats
+        assert stats.minor_count == 1
+        assert stats.minor_ns > 0
+        assert stats.pauses[0][0] == "minor"
+
+
+class TestEagerPromotion:
+    def test_tagged_object_promoted_immediately(self, panthera_stack):
+        obj = alloc_rooted(panthera_stack)
+        obj.set_tag(MemoryTag.NVM)
+        panthera_stack.collector.collect_minor()
+        assert obj.space.name == "old-nvm"
+        assert panthera_stack.collector.stats.eager_promoted_objects == 1
+
+    def test_dram_tagged_object_goes_to_old_dram(self, panthera_stack):
+        obj = alloc_rooted(panthera_stack)
+        obj.set_tag(MemoryTag.DRAM)
+        panthera_stack.collector.collect_minor()
+        assert obj.space.name == "old-dram"
+
+    def test_eager_promotion_disabled_by_config(self):
+        stack = make_stack(PolicyName.PANTHERA, eager_promotion=False)
+        obj = alloc_rooted(stack)
+        obj.set_tag(MemoryTag.NVM)
+        stack.collector.collect_minor()
+        assert stack.heap.in_young(obj)
+
+    def test_untagged_object_not_eager(self, panthera_stack):
+        obj = alloc_rooted(panthera_stack)
+        panthera_stack.collector.collect_minor()
+        assert panthera_stack.heap.in_young(obj)
+
+
+class TestTagPropagation:
+    def test_array_tag_propagates_to_young_slabs(self, panthera_stack):
+        heap = panthera_stack.heap
+        panthera_stack.runtime.rdd_alloc(
+            heap.new_object(ObjKind.RDD_TOP, 64), MemoryTag.NVM
+        )
+        array = heap.allocate_rdd_array(2 * MiB, rdd_id=1)
+        slab = heap.new_object(ObjKind.DATA, 64 * 1024)
+        heap.write_ref(array, slab)
+        panthera_stack.collector.collect_minor()
+        assert slab.memory_bits == MEMORY_BITS_NVM
+        assert slab.space.name == "old-nvm"
+
+    def test_dram_wins_conflicts_during_tracing(self, panthera_stack):
+        heap = panthera_stack.heap
+        heap.tag_wait.arm(MemoryTag.NVM)
+        nvm_array = heap.allocate_rdd_array(2 * MiB, rdd_id=1)
+        heap.tag_wait.arm(MemoryTag.DRAM)
+        dram_array = heap.allocate_rdd_array(2 * MiB, rdd_id=2)
+        shared = heap.new_object(ObjKind.DATA, 64 * 1024)
+        heap.write_ref(nvm_array, shared)
+        heap.write_ref(dram_array, shared)
+        panthera_stack.collector.collect_minor()
+        assert shared.tag is MemoryTag.DRAM
+        assert shared.space.name == "old-dram"
+
+    def test_root_with_memory_bits_moved_by_root_task(self, panthera_stack):
+        # §4.2.2: tops whose bits were set by rdd_alloc are recognised in
+        # the root task and moved to the old generation.
+        top = alloc_rooted(panthera_stack, kind=ObjKind.RDD_TOP)
+        panthera_stack.runtime.rdd_alloc(top, MemoryTag.NVM)
+        panthera_stack.collector.collect_minor()
+        assert top.space.name == "old-nvm"
+
+
+class TestCardHygiene:
+    def test_scanned_array_cleaned_once_children_promoted(self, panthera_stack):
+        heap = panthera_stack.heap
+        heap.tag_wait.arm(MemoryTag.NVM)
+        array = heap.allocate_rdd_array(2 * MiB, rdd_id=1)
+        slab = heap.new_object(ObjKind.DATA, 1024)
+        heap.write_ref(array, slab)
+        panthera_stack.collector.collect_minor()
+        fresh, stuck = heap.card_table.scan_plan()
+        assert array not in fresh and array not in stuck
+
+    def test_stock_array_stays_stuck(self, dram_stack):
+        heap = dram_stack.heap
+        array = heap.allocate_rdd_array(2 * MiB + 7, rdd_id=1)
+        slab = heap.new_object(ObjKind.DATA, 1024)
+        heap.write_ref(array, slab)
+        heap.add_root(array)
+        dram_stack.collector.collect_minor()
+        _, stuck = heap.card_table.scan_plan()
+        assert array in stuck
+        assert dram_stack.collector.stats.stuck_rescans >= 1
+
+    def test_array_with_remaining_young_refs_stays_dirty(self, dram_stack):
+        heap = dram_stack.heap
+        array = heap.allocate_rdd_array(2 * MiB, rdd_id=1)
+        heap.add_root(array)
+        slab = heap.new_object(ObjKind.DATA, 1024)
+        heap.write_ref(array, slab)
+        dram_stack.collector.collect_minor()
+        # The slab survived into a survivor space (age 1 < threshold), so
+        # the array still holds an old-to-young reference.
+        assert heap.in_young(slab)
+        fresh, stuck = heap.card_table.scan_plan()
+        assert array in fresh or array in stuck
+
+    def test_card_scan_bytes_accounted(self, dram_stack):
+        heap = dram_stack.heap
+        array = heap.allocate_rdd_array(2 * MiB, rdd_id=1)
+        slab = heap.new_object(ObjKind.DATA, 1024)
+        heap.write_ref(array, slab)
+        dram_stack.collector.collect_minor()
+        assert dram_stack.collector.stats.card_scanned_bytes >= array.size

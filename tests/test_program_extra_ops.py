@@ -1,0 +1,103 @@
+"""IR coverage for the extended operators (sample, sortByKey,
+aggregateByKey, cogroup, subtractByKey, keys)."""
+
+import pytest
+
+from repro.core.static_analysis import analyze_program
+from repro.core.tags import MemoryTag
+from repro.spark.program import Program, execute_program
+from repro.spark.storage import StorageLevel
+from repro.workloads.datasets import powerlaw_graph
+from tests.conftest import small_context
+
+
+def graph_ds(name="ir-extra", n=30, e=80):
+    return powerlaw_graph(name, n, e, total_bytes=4 * 2**20, seed=5)
+
+
+def run_program(p):
+    return execute_program(p, small_context(), {})
+
+
+class TestExtraOpsInIR:
+    def test_sample_in_program(self):
+        ds = graph_ds("s1")
+        p = Program()
+        edges = p.let("edges", p.source(ds))
+        p.action(p.let("some", edges.sample(0.5, seed=3)), "count", result_key="n")
+        results = run_program(p)
+        assert 0 < results["n"] < len(ds.records)
+
+    def test_keys_in_program(self):
+        ds = graph_ds("s2")
+        p = Program()
+        edges = p.let("edges", p.source(ds))
+        p.action(
+            p.let("srcs", edges.keys().distinct()), "count", result_key="n"
+        )
+        results = run_program(p)
+        assert results["n"] == len({src for src, _ in ds.records})
+
+    def test_sort_by_key_in_program(self):
+        ds = graph_ds("s3")
+        p = Program()
+        edges = p.let("edges", p.source(ds))
+        p.action(
+            p.let("sorted", edges.sort_by_key(num_partitions=1)),
+            "collect",
+            result_key="rows",
+        )
+        rows = run_program(p)["rows"]
+        keys = [k for k, _ in rows]
+        assert keys == sorted(keys)
+
+    def test_aggregate_by_key_in_program(self):
+        ds = graph_ds("s4")
+        p = Program()
+        edges = p.let("edges", p.source(ds))
+        p.action(
+            p.let(
+                "degree",
+                edges.aggregate_by_key(
+                    0, lambda acc, _v: acc + 1, lambda a, b: a + b
+                ),
+            ),
+            "collect",
+            result_key="deg",
+        )
+        degrees = dict(run_program(p)["deg"])
+        assert sum(degrees.values()) == len(ds.records)
+
+    def test_cogroup_and_subtract_in_program(self):
+        ds = graph_ds("s5")
+        p = Program()
+        edges = p.let("edges", p.source(ds))
+        sampled = p.let("sampled", edges.sample(0.4, seed=11))
+        p.action(
+            p.let("rest", edges.subtract_by_key(sampled)),
+            "count",
+            result_key="rest",
+        )
+        p.action(
+            p.let("both", edges.cogroup(sampled)), "count", result_key="both"
+        )
+        results = run_program(p)
+        # cogroup yields one record per distinct key; subtract yields the
+        # edge records whose source never appears in the sample.
+        n_keys = len({src for src, _ in ds.records})
+        assert results["both"] == n_keys
+        assert 0 < results["rest"] < len(ds.records)
+
+    def test_extra_ops_visible_to_analysis(self):
+        ds = graph_ds("s6")
+        p = Program()
+        edges = p.let("edges", p.source(ds).sample(0.9).persist())
+        anchor = p.let(
+            "anchor", p.source(ds).map(lambda r: r).persist(StorageLevel.MEMORY_ONLY)
+        )
+        with p.loop(3):
+            p.let("probe", anchor.cogroup(edges))
+        analysis = analyze_program(p)
+        # Both variables are used-only in the loop: DRAM.
+        assert analysis.tag_of("edges") is MemoryTag.DRAM
+        assert analysis.tag_of("anchor") is MemoryTag.DRAM

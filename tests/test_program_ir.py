@@ -1,0 +1,152 @@
+"""Program IR tests: structure, execution and driver statements."""
+
+import pytest
+
+from repro.core.tags import MemoryTag
+from repro.errors import AnalysisError, SparkError
+from repro.spark.program import (
+    AssignStmt,
+    DriverStmt,
+    LoopStmt,
+    Program,
+    UnpersistStmt,
+    VarRef,
+    execute_program,
+)
+from repro.spark.storage import StorageLevel
+from repro.workloads.datasets import powerlaw_graph
+from tests.conftest import small_context
+
+
+def graph_ds(n=30, e=80):
+    return powerlaw_graph("ir-test", n, e, total_bytes=4 * 2**20, seed=5)
+
+
+class TestBuilder:
+    def test_let_appends_assign(self):
+        p = Program()
+        ref = p.let("x", p.source(graph_ds()))
+        assert isinstance(ref, VarRef)
+        assert isinstance(p.statements()[0], AssignStmt)
+
+    def test_loop_nests_statements(self):
+        p = Program()
+        with p.loop(3):
+            p.let("x", p.source(graph_ds()))
+        (loop,) = p.statements()
+        assert isinstance(loop, LoopStmt)
+        assert loop.iterations == 3
+        assert len(loop.body) == 1
+
+    def test_zero_iteration_loop_rejected(self):
+        p = Program()
+        with pytest.raises(SparkError):
+            with p.loop(0):
+                pass
+
+    def test_let_requires_expression(self):
+        p = Program()
+        with pytest.raises(SparkError):
+            p.let("x", 42)
+
+    def test_unpersist_prior_records_lag(self):
+        p = Program()
+        ref = p.let("x", p.source(graph_ds()))
+        p.unpersist_prior(ref, lag=2)
+        stmt = p.statements()[-1]
+        assert isinstance(stmt, UnpersistStmt)
+        assert stmt.prior and stmt.lag == 2
+
+    def test_walk_covers_subexpressions(self):
+        p = Program()
+        expr = p.source(graph_ds()).map(lambda r: r).filter(lambda r: True)
+        assert len(expr.walk()) == 3
+
+    def test_persist_marks_expression(self):
+        expr = Program().source(graph_ds()).map(lambda r: r)
+        expr.persist(StorageLevel.MEMORY_ONLY)
+        assert expr.persist_level is StorageLevel.MEMORY_ONLY
+
+
+class TestExecution:
+    def test_count_action(self):
+        ds = graph_ds()
+        p = Program()
+        edges = p.let("edges", p.source(ds))
+        p.action(edges, "count", result_key="n")
+        ctx = small_context()
+        results = execute_program(p, ctx, {})
+        assert results["n"] == len(ds.records)
+
+    def test_collect_action(self):
+        ds = graph_ds()
+        p = Program()
+        edges = p.let("edges", p.source(ds))
+        p.action(edges, "collect", result_key="all")
+        results = execute_program(p, small_context(), {})
+        assert sorted(results["all"]) == sorted(ds.records)
+
+    def test_loop_executes_n_times(self):
+        ds = graph_ds()
+        p = Program()
+        edges = p.let("edges", p.source(ds))
+        grown = p.let("grown", edges.map(lambda r: r))
+        with p.loop(3):
+            grown = p.let("grown", grown.union(edges))
+        p.action(grown, "count", result_key="n")
+        results = execute_program(p, small_context(), {})
+        assert results["n"] == len(ds.records) * 4
+
+    def test_driver_stmt_sees_results(self):
+        ds = graph_ds()
+        p = Program()
+        edges = p.let("edges", p.source(ds))
+        p.action(edges, "count", result_key="n")
+        seen = {}
+        p.driver(lambda results: seen.update(results))
+        execute_program(p, small_context(), {})
+        assert seen["n"] == len(ds.records)
+
+    def test_tags_attached_to_persisted_rdds(self):
+        ds = graph_ds()
+        p = Program()
+        edges = p.let(
+            "edges", p.source(ds).map(lambda r: r).persist(StorageLevel.MEMORY_ONLY)
+        )
+        p.action(edges, "count", result_key="n")
+        ctx = small_context()
+        execute_program(p, ctx, {"edges": MemoryTag.DRAM})
+        tagged = [
+            rdd for rdd in ctx._rdds.values() if rdd.memory_tag is MemoryTag.DRAM
+        ]
+        assert tagged, "the persisted edges RDD should carry the DRAM tag"
+
+    def test_undefined_variable_rejected(self):
+        p = Program()
+        p.action(VarRef("ghost"), "count")
+        with pytest.raises(AnalysisError):
+            execute_program(p, small_context(), {})
+
+    def test_unpersist_prior_releases_old_generation(self):
+        ds = graph_ds()
+        p = Program()
+        v = p.let(
+            "v", p.source(ds).map(lambda r: r).persist(StorageLevel.MEMORY_ONLY)
+        )
+        with p.loop(3):
+            v = p.let("v", v.map(lambda r: r).persist(StorageLevel.MEMORY_ONLY))
+            p.unpersist_prior(v, lag=1)
+        p.action(v, "count", result_key="n")
+        ctx = small_context()
+        execute_program(p, ctx, {})
+        # Only the last generation (plus at most the in-flight one) should
+        # remain registered.
+        assert len(ctx.block_manager.blocks()) <= 2
+
+    def test_unknown_action_rejected(self):
+        ds = graph_ds()
+        p = Program()
+        edges = p.let("edges", p.source(ds))
+        p.action(edges, "frobnicate")
+        with pytest.raises(SparkError):
+            execute_program(p, small_context(), {})

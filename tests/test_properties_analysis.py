@@ -1,0 +1,142 @@
+"""Property-based tests for the §3 static analysis.
+
+Random programs — random loop nesting, random defs/uses/persists — must
+always satisfy the analysis's structural guarantees, whatever the shape.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.static_analysis import analyze_program
+from repro.core.tags import MemoryTag
+from repro.spark.program import Program
+from repro.spark.storage import StorageLevel
+
+
+def identity(record):
+    return record
+
+
+VARS = ["a", "b", "c", "d"]
+
+#: One statement template: (kind, var index, aux index, level index)
+STMT = st.tuples(
+    st.sampled_from(["define", "use", "persist_define", "action", "loop_open", "loop_close"]),
+    st.integers(min_value=0, max_value=len(VARS) - 1),
+    st.integers(min_value=0, max_value=len(VARS) - 1),
+    st.sampled_from(
+        [
+            StorageLevel.MEMORY_ONLY,
+            StorageLevel.MEMORY_AND_DISK_SER,
+            StorageLevel.OFF_HEAP,
+            StorageLevel.DISK_ONLY,
+        ]
+    ),
+)
+
+
+def build_program(script):
+    """Materialise a statement script into a Program (loops balanced by
+    construction: loop_close pops only when a loop is open)."""
+
+    class Source:
+        name = "prop"
+
+    p = Program()
+    defined = set()
+    # Seed every variable so uses are always legal.
+    for var in VARS:
+        p.let(var, p.source(Source()).map(identity))
+        defined.add(var)
+    open_loops = []
+
+    def emit(kind, var, aux, level):
+        if kind == "define":
+            p.let(var, p.source(Source()).map(identity))
+        elif kind == "use":
+            p.let(f"tmp_{len(p.body)}", _ref(p, var).map(identity))
+        elif kind == "persist_define":
+            p.let(var, p.source(Source()).map(identity).persist(level))
+        elif kind == "action":
+            p.action(_ref(p, var), "count")
+
+    def _ref(p, var):
+        from repro.spark.program import VarRef
+
+        return VarRef(var)
+
+    for kind, vi, ai, level in script:
+        var = VARS[vi]
+        if kind == "loop_open":
+            ctx = p.loop(2)
+            ctx.__enter__()
+            open_loops.append(ctx)
+        elif kind == "loop_close":
+            if open_loops:
+                open_loops.pop().__exit__(None, None, None)
+        else:
+            emit(kind, var, VARS[ai], level)
+    while open_loops:
+        open_loops.pop().__exit__(None, None, None)
+    return p
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=st.lists(STMT, max_size=25))
+def test_analysis_structural_guarantees(script):
+    program = build_program(script)
+    analysis = analyze_program(program)
+
+    persisted_levels = {}
+    from repro.spark.program import AssignStmt, LoopStmt
+
+    def walk(stmts):
+        for stmt in stmts:
+            if isinstance(stmt, AssignStmt):
+                for node in stmt.expr.walk():
+                    if node.persist_level is not None:
+                        persisted_levels.setdefault(stmt.var, set()).add(
+                            node.persist_level
+                        )
+            elif isinstance(stmt, LoopStmt):
+                walk(stmt.body)
+
+    walk(program.statements())
+
+    # (1) OFF_HEAP variables are always NVM, never flipped.
+    for var, levels in persisted_levels.items():
+        if levels == {StorageLevel.OFF_HEAP}:
+            assert analysis.tag_of(var) is MemoryTag.NVM
+        # (2) DISK_ONLY-only variables never carry a memory tag.
+        if levels == {StorageLevel.DISK_ONLY}:
+            assert analysis.tag_of(var) is None
+
+    # (3) Every tagged variable has a rationale.
+    for var in analysis.tags:
+        assert var in analysis.rationale
+
+    # (4) The flip rule is consistent: if not flipped, some taggable
+    # persisted variable is DRAM (or there are none at all).
+    # A variable that is *ever* persisted OFF_HEAP or DISK_ONLY is fixed
+    # by that level (the implementation pins it at the first such
+    # materialisation point); only purely-taggable variables participate
+    # in the flip rule.
+    taggable = [
+        var
+        for var, levels in persisted_levels.items()
+        if all(lvl.taggable for lvl in levels)
+    ]
+    if taggable and not analysis.flipped:
+        assert any(analysis.tag_of(v) is MemoryTag.DRAM for v in taggable)
+    # (5) If flipped, every taggable persisted variable is DRAM.
+    if analysis.flipped:
+        for var in taggable:
+            assert analysis.tag_of(var) is MemoryTag.DRAM
+
+
+@settings(max_examples=30, deadline=None)
+@given(script=st.lists(STMT, max_size=20))
+def test_analysis_deterministic(script):
+    a = analyze_program(build_program(script))
+    b = analyze_program(build_program(script))
+    assert a.tags == b.tags
+    assert a.flipped == b.flipped

@@ -1,0 +1,125 @@
+"""Property-based Spark-layer tests.
+
+The central soundness property of the whole reproduction: *the placement
+policy can never change computed answers*.  Random transformation
+pipelines over a random dataset must produce identical results under
+DRAM-only, unmanaged and Panthera — only time/energy may differ.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import PolicyName
+from repro.spark.storage import StorageLevel
+from tests.conftest import small_context
+
+POLICIES = [PolicyName.DRAM_ONLY, PolicyName.UNMANAGED, PolicyName.PANTHERA]
+
+#: One pipeline step: (op name, parameter)
+STEP = st.sampled_from(
+    [
+        ("map_inc", None),
+        ("filter_even", None),
+        ("flat_dup", None),
+        ("group", None),
+        ("reduce_sum", None),
+        ("distinct", None),
+        ("sort", None),
+        ("sample", None),
+        ("persist", StorageLevel.MEMORY_ONLY),
+        ("persist_ser", StorageLevel.MEMORY_ONLY_SER),
+    ]
+)
+
+DATASET = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=9), st.integers(0, 100)),
+    min_size=1,
+    max_size=40,
+)
+
+
+def build_pipeline(ctx, records, steps):
+    """Apply a step sequence to a fresh source RDD."""
+    rdd = ctx.parallelize(list(records), 3, 2 * 2**20, name="prop-src")
+    grouped = False
+    for op, param in steps:
+        if op == "map_inc":
+            rdd = rdd.map(lambda r: (r[0], _bump(r[1])))
+        elif op == "filter_even":
+            rdd = rdd.filter(lambda r: _key_even(r[0]))
+        elif op == "flat_dup":
+            rdd = rdd.flat_map(lambda r: [r, (r[0], r[1])])
+        elif op == "group":
+            rdd = rdd.group_by_key().map_values(_sorted_group)
+            grouped = True
+        elif op == "reduce_sum" and not grouped:
+            rdd = rdd.reduce_by_key(_add)
+        elif op == "distinct" and not grouped:
+            rdd = rdd.distinct()
+        elif op == "sort":
+            rdd = rdd.sort_by_key(num_partitions=1)
+        elif op == "sample":
+            rdd = rdd.sample(0.7, seed=5)
+        elif op.startswith("persist"):
+            rdd.persist(param)
+    return rdd
+
+
+def _bump(v):
+    return (v + 1) if isinstance(v, int) else v
+
+
+def _key_even(k):
+    return k % 2 == 0
+
+
+def _sorted_group(vs):
+    return tuple(sorted(vs, key=repr))
+
+
+def _add(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        return a + b
+    return a
+
+
+def run_pipeline(policy, records, steps):
+    ctx = small_context(policy)
+    rdd = build_pipeline(ctx, records, steps)
+    return sorted(ctx.scheduler.run_action(rdd, "collect"), key=repr), ctx
+
+
+class TestPolicyInvariance:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(records=DATASET, steps=st.lists(STEP, min_size=1, max_size=6))
+    def test_results_identical_across_policies(self, records, steps):
+        baseline, _ = run_pipeline(PolicyName.DRAM_ONLY, records, steps)
+        for policy in (PolicyName.UNMANAGED, PolicyName.PANTHERA):
+            result, _ = run_pipeline(policy, records, steps)
+            assert result == baseline, policy
+
+    @settings(max_examples=15, deadline=None)
+    @given(records=DATASET, steps=st.lists(STEP, min_size=1, max_size=5))
+    def test_reexecution_is_deterministic(self, records, steps):
+        a, _ = run_pipeline(PolicyName.PANTHERA, records, steps)
+        b, _ = run_pipeline(PolicyName.PANTHERA, records, steps)
+        assert a == b
+
+    @settings(max_examples=15, deadline=None)
+    @given(records=DATASET, steps=st.lists(STEP, min_size=1, max_size=5))
+    def test_heap_consistent_after_random_pipeline(self, records, steps):
+        from repro.heap.verify import verify_heap
+
+        _, ctx = run_pipeline(PolicyName.PANTHERA, records, steps)
+        assert verify_heap(ctx.heap) == []
+
+    @settings(max_examples=15, deadline=None)
+    @given(records=DATASET, steps=st.lists(STEP, min_size=1, max_size=5))
+    def test_time_and_energy_always_positive(self, records, steps):
+        _, ctx = run_pipeline(PolicyName.PANTHERA, records, steps)
+        assert ctx.machine.elapsed_s > 0
+        assert ctx.machine.energy_j() > 0

@@ -1,0 +1,119 @@
+"""Tests for the extended RDD operators: sample, keys, sortByKey,
+aggregateByKey, cogroup, subtractByKey."""
+
+import pytest
+
+from repro.errors import SparkError
+from tests.conftest import small_context
+
+
+@pytest.fixture
+def ctx():
+    return small_context()
+
+
+def parallelize(ctx, records, partitions=3, total_bytes=2 * 2**20, name="x"):
+    return ctx.parallelize(list(records), partitions, total_bytes, name=name)
+
+
+def run(ctx, rdd):
+    return sorted(ctx.scheduler.run_action(rdd, "collect"))
+
+
+class TestSample:
+    def test_fraction_zero_and_one(self, ctx):
+        base = parallelize(ctx, [(i, i) for i in range(20)])
+        assert run(ctx, base.sample(0.0)) == []
+        assert run(ctx, base.sample(1.0)) == [(i, i) for i in range(20)]
+
+    def test_deterministic(self, ctx):
+        base = parallelize(ctx, [(i, i) for i in range(50)])
+        a = run(ctx, base.sample(0.5, seed=3))
+        b = run(ctx, base.sample(0.5, seed=3))
+        assert a == b
+
+    def test_rough_fraction(self, ctx):
+        base = parallelize(ctx, [(i, i) for i in range(200)])
+        sampled = run(ctx, base.sample(0.3, seed=9))
+        assert 30 <= len(sampled) <= 90
+
+    def test_bad_fraction_rejected(self, ctx):
+        base = parallelize(ctx, [(1, 1)])
+        with pytest.raises(SparkError):
+            base.sample(1.5)
+
+    def test_sample_shrinks_byte_weight(self, ctx):
+        base = parallelize(ctx, [(i, i) for i in range(10)])
+        assert base.sample(0.25).bytes_per_record == pytest.approx(
+            base.bytes_per_record * 0.25
+        )
+
+
+class TestKeysAndSort:
+    def test_keys(self, ctx):
+        base = parallelize(ctx, [(1, "a"), (2, "b")])
+        assert run(ctx, base.keys()) == [(1, 1), (2, 2)]
+
+    def test_sort_by_key_within_partitions(self, ctx):
+        base = parallelize(ctx, [(i, i) for i in (5, 3, 9, 1, 7)])
+        result = ctx.scheduler.run_action(base.sort_by_key(num_partitions=1), "collect")
+        assert result == sorted(result)
+
+    def test_sort_descending(self, ctx):
+        base = parallelize(ctx, [(i, i) for i in (2, 8, 5)])
+        result = ctx.scheduler.run_action(
+            base.sort_by_key(ascending=False, num_partitions=1), "collect"
+        )
+        assert result == sorted(result, reverse=True)
+
+
+class TestAggregateByKey:
+    def test_sum_and_count(self, ctx):
+        base = parallelize(ctx, [(i % 2, i) for i in range(10)])
+        agg = base.aggregate_by_key(
+            (0, 0),
+            seq_fn=lambda acc, v: (acc[0] + v, acc[1] + 1),
+            comb_fn=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        result = dict(run(ctx, agg))
+        assert result[0] == (0 + 2 + 4 + 6 + 8, 5)
+        assert result[1] == (1 + 3 + 5 + 7 + 9, 5)
+
+    def test_mean_via_aggregate(self, ctx):
+        base = parallelize(ctx, [(i % 3, float(i)) for i in range(12)])
+        agg = base.aggregate_by_key(
+            (0.0, 0),
+            seq_fn=lambda acc, v: (acc[0] + v, acc[1] + 1),
+            comb_fn=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        means = {k: s / n for k, (s, n) in run(ctx, agg)}
+        expected = {}
+        for i in range(12):
+            expected.setdefault(i % 3, []).append(float(i))
+        for key, values in expected.items():
+            assert means[key] == pytest.approx(sum(values) / len(values))
+
+
+class TestCogroupAndSubtract:
+    def test_cogroup_keeps_outer_keys(self, ctx):
+        a = parallelize(ctx, [(1, "a"), (2, "b")], name="a")
+        b = parallelize(ctx, [(2, 20), (3, 30)], name="b")
+        result = dict(run(ctx, a.cogroup(b)))
+        assert set(result) == {1, 2, 3}
+        assert result[1] == (["a"], [])
+        assert result[2] == (["b"], [20])
+        assert result[3] == ([], [30])
+
+    def test_join_is_inner(self, ctx):
+        a = parallelize(ctx, [(1, "a"), (2, "b")], name="a")
+        b = parallelize(ctx, [(2, 20), (3, 30)], name="b")
+        assert run(ctx, a.join(b)) == [(2, ("b", 20))]
+
+    def test_subtract_by_key(self, ctx):
+        a = parallelize(ctx, [(1, "a"), (2, "b"), (3, "c")], name="a")
+        b = parallelize(ctx, [(2, None)], name="b")
+        assert run(ctx, a.subtract_by_key(b)) == [(1, "a"), (3, "c")]
+
+    def test_subtract_all(self, ctx):
+        a = parallelize(ctx, [(1, "a")], name="a")
+        assert run(ctx, a.subtract_by_key(a)) == []

@@ -1,0 +1,202 @@
+"""Static analysis tests: every inference rule of §3."""
+
+import pytest
+
+from repro.core.static_analysis import analyze_program
+from repro.core.tags import MemoryTag
+from repro.spark.program import Program
+from repro.spark.storage import StorageLevel
+
+
+def identity(record):
+    return record
+
+
+def build_pagerank_like(iterations=3):
+    """The shape of Figure 2(a)."""
+    class FakeDataset:
+        name = "fake"
+
+    p = Program()
+    lines = p.let("lines", p.source(FakeDataset()))
+    links = p.let(
+        "links",
+        lines.map(identity).distinct().group_by_key()
+        .persist(StorageLevel.MEMORY_ONLY),
+    )
+    ranks = p.let("ranks", links.map_values(identity))
+    with p.loop(iterations):
+        contribs = p.let(
+            "contribs",
+            links.join(ranks).values().flat_map(identity)
+            .persist(StorageLevel.MEMORY_AND_DISK_SER),
+        )
+        ranks = p.let(
+            "ranks", contribs.reduce_by_key(identity).map_values(identity)
+        )
+    p.action(ranks, "count")
+    return p
+
+
+class TestPageRankTags:
+    """The paper's running example: links=DRAM, contribs=NVM, ranks=NVM."""
+
+    def test_links_is_dram(self):
+        analysis = analyze_program(build_pagerank_like())
+        assert analysis.tag_of("links") is MemoryTag.DRAM
+
+    def test_contribs_is_nvm(self):
+        analysis = analyze_program(build_pagerank_like())
+        assert analysis.tag_of("contribs") is MemoryTag.NVM
+
+    def test_ranks_is_nvm(self):
+        # ranks materialises only at the post-loop action; no loop follows,
+        # so its in-loop behaviour is irrelevant (§3).
+        analysis = analyze_program(build_pagerank_like())
+        assert analysis.tag_of("ranks") is MemoryTag.NVM
+
+    def test_not_flipped(self):
+        assert not analyze_program(build_pagerank_like()).flipped
+
+    def test_rationale_provided(self):
+        analysis = analyze_program(build_pagerank_like())
+        assert "used-only" in analysis.rationale["links"]
+
+
+class TestCoreRules:
+    def test_used_only_in_loop_is_dram(self):
+        p = Program()
+        data = p.let("data", p.source(object()).map(identity).persist())
+        with p.loop(3):
+            p.let("tmp", data.map(identity))
+        analysis = analyze_program(p)
+        assert analysis.tag_of("data") is MemoryTag.DRAM
+
+    def test_defined_in_loop_is_nvm(self):
+        p = Program()
+        acc = p.let("acc", p.source(object()).map(identity).persist())
+        anchor = p.let("anchor", p.source(object()).map(identity).persist())
+        with p.loop(3):
+            acc = p.let("acc", acc.map(identity).persist())
+            p.let("use_anchor", anchor.map(identity))
+        analysis = analyze_program(p)
+        assert analysis.tag_of("acc") is MemoryTag.NVM
+        assert analysis.tag_of("anchor") is MemoryTag.DRAM
+
+    def test_no_loop_means_nvm_then_flip(self):
+        # "If no loop exists ... all the RDDs receive an NVM tag"; then
+        # the all-NVM rule flips them to DRAM.
+        p = Program()
+        p.let("a", p.source(object()).map(identity).persist())
+        p.let("b", p.source(object()).map(identity).persist())
+        p.action(p.let("c", p.source(object()).map(identity)), "count")
+        analysis = analyze_program(p)
+        assert analysis.flipped
+        assert analysis.tag_of("a") is MemoryTag.DRAM
+        assert analysis.tag_of("b") is MemoryTag.DRAM
+
+    def test_materialization_after_loop_ignores_that_loop(self):
+        p = Program()
+        other = p.let("other", p.source(object()).map(identity).persist())
+        with p.loop(2):
+            p.let("use", other.map(identity))
+            late = p.let("late", p.source(object()).map(identity))
+        # late materialises only here, after the loop.
+        p.let("late", p.let("late2", p.source(object()).map(identity)).map(identity).persist())
+        analysis = analyze_program(p)
+        assert analysis.tag_of("late") is MemoryTag.NVM
+
+    def test_multiple_loops_any_used_only_wins_dram(self):
+        # "we tag it DRAM as long as there exists one loop in which the
+        # variable is used-only and that loop follows or contains the
+        # materialization point"
+        p = Program()
+        v = p.let("v", p.source(object()).map(identity).persist())
+        with p.loop(2):
+            v = p.let("v", v.map(identity).persist())
+        with p.loop(2):
+            p.let("consume", v.map(identity))
+        analysis = analyze_program(p)
+        assert analysis.tag_of("v") is MemoryTag.DRAM
+
+    def test_loop_before_materialization_not_considered(self):
+        p = Program()
+        base = p.let("base", p.source(object()).map(identity))
+        with p.loop(2):
+            p.let("warmup", base.map(identity))
+        # base materialises only now; the loop above is in the past.
+        p.let("base", base.map(identity).persist())
+        anchor = p.let("anchor", p.source(object()).map(identity).persist())
+        with p.loop(2):
+            p.let("a_use", anchor.map(identity))
+        analysis = analyze_program(p)
+        assert analysis.tag_of("base") is MemoryTag.NVM
+
+    def test_off_heap_is_fixed_nvm(self):
+        p = Program()
+        native = p.let(
+            "native", p.source(object()).map(identity).persist(StorageLevel.OFF_HEAP)
+        )
+        with p.loop(2):
+            p.let("use", native.map(identity))
+        analysis = analyze_program(p)
+        # OFF_HEAP translates directly to NVM, regardless of def/use.
+        assert analysis.tag_of("native") is MemoryTag.NVM
+
+    def test_off_heap_excluded_from_flip(self):
+        p = Program()
+        p.let(
+            "native", p.source(object()).map(identity).persist(StorageLevel.OFF_HEAP)
+        )
+        p.let("plain", p.source(object()).map(identity).persist())
+        analysis = analyze_program(p)
+        assert analysis.flipped  # plain was NVM -> flip
+        assert analysis.tag_of("native") is MemoryTag.NVM  # stays fixed
+        assert analysis.tag_of("plain") is MemoryTag.DRAM
+
+    def test_disk_only_has_no_tag(self):
+        p = Program()
+        p.let(
+            "spilled",
+            p.source(object()).map(identity).persist(StorageLevel.DISK_ONLY),
+        )
+        anchor = p.let("anchor", p.source(object()).map(identity).persist())
+        with p.loop(2):
+            p.let("use", anchor.map(identity))
+        analysis = analyze_program(p)
+        assert analysis.tag_of("spilled") is None
+
+    def test_unpersist_is_ignored(self):
+        # §5.5: lack of unpersist support is what sends GraphX to
+        # dynamic migration.
+        p = Program()
+        g = p.let("g", p.source(object()).map(identity).persist())
+        with p.loop(3):
+            g = p.let("g", g.map(identity).persist())
+            p.unpersist_prior(g)
+        analysis = analyze_program(p)
+        assert analysis.flipped  # g def+use in loop -> NVM -> flip
+        assert analysis.tag_of("g") is MemoryTag.DRAM
+
+    def test_action_only_variable_is_analyzed(self):
+        # "Panthera analyzes not only RDD variables on which persist is
+        # explicitly called, but also those on which actions are invoked"
+        p = Program()
+        anchor = p.let("anchor", p.source(object()).map(identity).persist())
+        acted = p.let("acted", p.source(object()).map(identity))
+        with p.loop(2):
+            p.let("use", anchor.map(identity))
+        p.action(acted, "count")
+        analysis = analyze_program(p)
+        assert analysis.tag_of("acted") is MemoryTag.NVM
+
+    def test_nested_loops_attributed_to_enclosing_spans(self):
+        p = Program()
+        outer_var = p.let("ov", p.source(object()).map(identity).persist())
+        with p.loop(2):
+            with p.loop(2):
+                p.let("inner_use", outer_var.map(identity))
+        analysis = analyze_program(p)
+        # Used-only in both the inner and outer loop spans.
+        assert analysis.tag_of("ov") is MemoryTag.DRAM
+        assert len(analysis.loops) == 2

@@ -1,0 +1,77 @@
+"""Tests for the MEMORY_BITS encoding and DRAM > NVM conflict rule."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tags import (
+    MEMORY_BITS_DRAM,
+    MEMORY_BITS_NONE,
+    MEMORY_BITS_NVM,
+    MemoryTag,
+    merge_tags,
+)
+
+
+class TestMemoryBits:
+    def test_encodings_match_paper(self):
+        # §4.1: 01 = DRAM, 10 = NVM, 00 = untagged.
+        assert MEMORY_BITS_DRAM == 0b01
+        assert MEMORY_BITS_NVM == 0b10
+        assert MEMORY_BITS_NONE == 0b00
+
+    def test_tag_to_bits(self):
+        assert MemoryTag.DRAM.bits == MEMORY_BITS_DRAM
+        assert MemoryTag.NVM.bits == MEMORY_BITS_NVM
+
+    def test_bits_roundtrip(self):
+        for tag in MemoryTag:
+            assert MemoryTag.from_bits(tag.bits) is tag
+
+    def test_none_bits_decode_to_none(self):
+        assert MemoryTag.from_bits(MEMORY_BITS_NONE) is None
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTag.from_bits(0b11)
+
+
+class TestMergeTags:
+    """§4.2.2: 'we resolve conflicts by giving DRAM higher priority'."""
+
+    def test_dram_beats_nvm(self):
+        assert merge_tags(MemoryTag.DRAM, MemoryTag.NVM) is MemoryTag.DRAM
+        assert merge_tags(MemoryTag.NVM, MemoryTag.DRAM) is MemoryTag.DRAM
+
+    def test_same_tags_idempotent(self):
+        assert merge_tags(MemoryTag.NVM, MemoryTag.NVM) is MemoryTag.NVM
+        assert merge_tags(MemoryTag.DRAM, MemoryTag.DRAM) is MemoryTag.DRAM
+
+    def test_none_never_overrides(self):
+        assert merge_tags(None, MemoryTag.NVM) is MemoryTag.NVM
+        assert merge_tags(MemoryTag.DRAM, None) is MemoryTag.DRAM
+
+    def test_both_none(self):
+        assert merge_tags(None, None) is None
+
+    @given(
+        a=st.sampled_from([None, MemoryTag.DRAM, MemoryTag.NVM]),
+        b=st.sampled_from([None, MemoryTag.DRAM, MemoryTag.NVM]),
+    )
+    def test_commutative(self, a, b):
+        assert merge_tags(a, b) is merge_tags(b, a)
+
+    @given(
+        a=st.sampled_from([None, MemoryTag.DRAM, MemoryTag.NVM]),
+        b=st.sampled_from([None, MemoryTag.DRAM, MemoryTag.NVM]),
+        c=st.sampled_from([None, MemoryTag.DRAM, MemoryTag.NVM]),
+    )
+    def test_associative(self, a, b, c):
+        assert merge_tags(merge_tags(a, b), c) is merge_tags(a, merge_tags(b, c))
+
+    @given(
+        a=st.sampled_from([None, MemoryTag.DRAM, MemoryTag.NVM]),
+        b=st.sampled_from([None, MemoryTag.DRAM, MemoryTag.NVM]),
+    )
+    def test_merge_never_loses_dram(self, a, b):
+        if MemoryTag.DRAM in (a, b):
+            assert merge_tags(a, b) is MemoryTag.DRAM

@@ -1,0 +1,53 @@
+"""Tests for the ``ctx.text_file`` entry point (Figure 2(a)'s textFile)."""
+
+import pytest
+
+from repro.config import MiB
+from repro.errors import SparkError
+from tests.conftest import small_context
+
+
+@pytest.fixture
+def text_path(tmp_path):
+    path = tmp_path / "input.txt"
+    path.write_text("alpha beta\ngamma\ndelta epsilon zeta\n")
+    return path
+
+
+class TestTextFile:
+    def test_lines_become_records(self, text_path):
+        ctx = small_context()
+        rdd = ctx.text_file(str(text_path), total_bytes=MiB)
+        records = sorted(ctx.scheduler.run_action(rdd, "collect"))
+        assert records == [
+            (0, "alpha beta"),
+            (1, "gamma"),
+            (2, "delta epsilon zeta"),
+        ]
+
+    def test_default_weight_applies_bloat(self, text_path):
+        ctx = small_context()
+        rdd = ctx.text_file(str(text_path))
+        file_size = text_path.stat().st_size
+        assert rdd.bytes_per_record * 3 == pytest.approx(file_size * 8)
+
+    def test_word_count_over_text_file(self, text_path):
+        ctx = small_context()
+        counts = dict(
+            ctx.text_file(str(text_path), total_bytes=MiB)
+            .flat_map(lambda r: [(w, 1) for w in r[1].split()])
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        assert counts["alpha"] == 1
+        assert len(counts) == 6
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(SparkError):
+            small_context().text_file(str(path))
+
+    def test_name_is_basename(self, text_path):
+        rdd = small_context().text_file(str(text_path), total_bytes=MiB)
+        assert rdd.name == "input.txt"
