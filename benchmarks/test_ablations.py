@@ -16,15 +16,21 @@ import statistics
 
 from repro.config import PolicyName
 from repro.harness.configs import paper_config, write_rationing_configs
-from repro.harness.experiment import run_experiment
 
-from benchmarks.conftest import BENCH_SCALE, print_and_report
+from benchmarks.conftest import BENCH_SCALE, print_and_report, run_grid
 
 ABLATION_WORKLOADS = ("PR", "KM", "CC")
 
 
+def _regroup(flat, workloads):
+    """Regroup a flat {(workload, key): result} grid into nested rows."""
+    out = {workload: {} for workload in workloads}
+    for (workload, key), result in flat.items():
+        out[workload][key] = result
+    return out
+
+
 def _run_ablations():
-    out = {}
     base = paper_config(64, 1 / 3, PolicyName.PANTHERA, BENCH_SCALE)
     variants = {
         "panthera": base,
@@ -32,12 +38,14 @@ def _run_ablations():
         "no-eager-promotion": base.replace(eager_promotion=False),
         "no-dynamic-migration": base.replace(dynamic_migration=False),
     }
-    for workload in ABLATION_WORKLOADS:
-        out[workload] = {
-            key: run_experiment(workload, cfg, scale=BENCH_SCALE)
+    flat = run_grid(
+        {
+            (workload, key): (workload, cfg)
+            for workload in ABLATION_WORKLOADS
             for key, cfg in variants.items()
         }
-    return out
+    )
+    return _regroup(flat, ABLATION_WORKLOADS)
 
 
 def test_panthera_feature_ablations(benchmark):
@@ -85,13 +93,15 @@ def test_panthera_feature_ablations(benchmark):
 
 
 def _run_write_rationing():
-    out = {}
-    for workload in ("PR", "KM"):
-        out[workload] = {
-            key: run_experiment(workload, cfg, scale=BENCH_SCALE)
-            for key, cfg in write_rationing_configs(BENCH_SCALE).items()
+    configs = write_rationing_configs(BENCH_SCALE)
+    flat = run_grid(
+        {
+            (workload, key): (workload, cfg)
+            for workload in ("PR", "KM")
+            for key, cfg in configs.items()
         }
-    return out
+    )
+    return _regroup(flat, ("PR", "KM"))
 
 
 def test_write_rationing_baselines(benchmark):

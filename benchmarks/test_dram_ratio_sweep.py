@@ -13,24 +13,23 @@ that kept the paper from using "a very small DRAM ratio" (§5.2).
 
 from repro.config import PolicyName
 from repro.harness.configs import paper_config
-from repro.harness.experiment import run_experiment
 
-from benchmarks.conftest import BENCH_SCALE, print_and_report
+from benchmarks.conftest import BENCH_SCALE, print_and_report, run_grid
 
 RATIOS = (1 / 6, 1 / 4, 1 / 3, 1 / 2)
 
 
 def _run_sweep():
-    out = {}
-    base = paper_config(64, 1.0, PolicyName.DRAM_ONLY, BENCH_SCALE)
-    out["baseline"] = run_experiment("KM", base, scale=BENCH_SCALE)
+    cells = {
+        "baseline": ("KM", paper_config(64, 1.0, PolicyName.DRAM_ONLY, BENCH_SCALE))
+    }
     for ratio in RATIOS:
         for policy in (PolicyName.UNMANAGED, PolicyName.PANTHERA):
-            cfg = paper_config(64, ratio, policy, BENCH_SCALE)
-            out[(ratio, policy.value)] = run_experiment(
-                "KM", cfg, scale=BENCH_SCALE
+            cells[(ratio, policy.value)] = (
+                "KM",
+                paper_config(64, ratio, policy, BENCH_SCALE),
             )
-    return out
+    return run_grid(cells)
 
 
 def test_dram_ratio_sweep(benchmark):

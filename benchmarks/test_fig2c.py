@@ -11,9 +11,8 @@ performance at near-32 GB energy.
 """
 
 from repro.harness.configs import fig2c_configs
-from repro.harness.experiment import run_experiment
 
-from benchmarks.conftest import BENCH_SCALE, norm, print_and_report
+from benchmarks.conftest import BENCH_SCALE, norm, print_and_report, run_grid
 
 PAPER = {
     "120gb-dram": (1.00, 1.00),
@@ -24,10 +23,9 @@ PAPER = {
 
 
 def _run_grid():
-    return {
-        key: run_experiment("PR", cfg, scale=BENCH_SCALE)
-        for key, cfg in fig2c_configs(BENCH_SCALE).items()
-    }
+    return run_grid(
+        {key: ("PR", cfg) for key, cfg in fig2c_configs(BENCH_SCALE).items()}
+    )
 
 
 def test_fig2c_pagerank_motivating_example(benchmark):

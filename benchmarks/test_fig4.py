@@ -9,9 +9,14 @@ Per-benchmark paper rows are embedded below for side-by-side reporting.
 import statistics
 
 from repro.harness.configs import fig4_configs
-from repro.harness.experiment import run_experiment
 
-from benchmarks.conftest import ALL_WORKLOADS, BENCH_SCALE, norm, print_and_report
+from benchmarks.conftest import (
+    ALL_WORKLOADS,
+    BENCH_SCALE,
+    norm,
+    print_and_report,
+    run_grid,
+)
 
 #: Figure 4's bar values: workload -> (unmanaged time, panthera time,
 #: unmanaged energy, panthera energy).
@@ -27,12 +32,17 @@ PAPER = {
 
 
 def _run_all():
-    out = {}
-    for workload in ALL_WORKLOADS:
-        out[workload] = {
-            key: run_experiment(workload, cfg, scale=BENCH_SCALE)
-            for key, cfg in fig4_configs(BENCH_SCALE).items()
+    configs = fig4_configs(BENCH_SCALE)
+    flat = run_grid(
+        {
+            (workload, key): (workload, cfg)
+            for workload in ALL_WORKLOADS
+            for key, cfg in configs.items()
         }
+    )
+    out = {workload: {} for workload in ALL_WORKLOADS}
+    for (workload, key), result in flat.items():
+        out[workload][key] = result
     return out
 
 

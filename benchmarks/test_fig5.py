@@ -13,9 +13,13 @@ a few percent; Panthera's GC is near (sometimes below) DRAM-only.
 """
 
 from repro.harness.configs import fig4_configs
-from repro.harness.experiment import run_experiment
 
-from benchmarks.conftest import ALL_WORKLOADS, BENCH_SCALE, print_and_report
+from benchmarks.conftest import (
+    ALL_WORKLOADS,
+    BENCH_SCALE,
+    print_and_report,
+    run_grid,
+)
 
 PAPER_GC = {  # workload -> (dram-only, panthera, unmanaged) GC seconds
     "PR": (174, 279, 284),
@@ -29,12 +33,17 @@ PAPER_GC = {  # workload -> (dram-only, panthera, unmanaged) GC seconds
 
 
 def _run_all():
-    out = {}
-    for workload in ALL_WORKLOADS:
-        out[workload] = {
-            key: run_experiment(workload, cfg, scale=BENCH_SCALE)
-            for key, cfg in fig4_configs(BENCH_SCALE).items()
+    configs = fig4_configs(BENCH_SCALE)
+    flat = run_grid(
+        {
+            (workload, key): (workload, cfg)
+            for workload in ALL_WORKLOADS
+            for key, cfg in configs.items()
         }
+    )
+    out = {workload: {} for workload in ALL_WORKLOADS}
+    for (workload, key), result in flat.items():
+        out[workload][key] = result
     return out
 
 

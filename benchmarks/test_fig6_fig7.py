@@ -16,19 +16,27 @@ energy than the 64 GB heap.
 import statistics
 
 from repro.harness.configs import grid_configs
-from repro.harness.experiment import run_experiment
 
-from benchmarks.conftest import BENCH_SCALE, GRID_WORKLOADS, print_and_report
+from benchmarks.conftest import (
+    BENCH_SCALE,
+    GRID_WORKLOADS,
+    print_and_report,
+    run_grid,
+)
 
 
 def _run_grid():
     configs = grid_configs(BENCH_SCALE)
-    out = {}
-    for workload in GRID_WORKLOADS:
-        out[workload] = {
-            key: run_experiment(workload, cfg, scale=BENCH_SCALE)
+    flat = run_grid(
+        {
+            (workload, key): (workload, cfg)
+            for workload in GRID_WORKLOADS
             for key, cfg in configs.items()
         }
+    )
+    out = {workload: {} for workload in GRID_WORKLOADS}
+    for (workload, key), result in flat.items():
+        out[workload][key] = result
     return out
 
 

@@ -13,21 +13,28 @@ region with degradation at 1/7.
 
 from repro.config import PolicyName
 from repro.harness.configs import paper_config
-from repro.harness.experiment import run_experiment
 
-from benchmarks.conftest import BENCH_SCALE, print_and_report
+from benchmarks.conftest import BENCH_SCALE, print_and_report, run_grid
 
 FRACTIONS = [1 / 4, 1 / 5, 1 / 6, 1 / 7]
 
 
 def _run_sweep():
-    out = {}
-    for fraction in FRACTIONS:
-        cfg = paper_config(
-            64, 1 / 3, PolicyName.PANTHERA, BENCH_SCALE, nursery_fraction=fraction
-        )
-        out[fraction] = run_experiment("PR", cfg, scale=BENCH_SCALE)
-    return out
+    return run_grid(
+        {
+            fraction: (
+                "PR",
+                paper_config(
+                    64,
+                    1 / 3,
+                    PolicyName.PANTHERA,
+                    BENCH_SCALE,
+                    nursery_fraction=fraction,
+                ),
+            )
+            for fraction in FRACTIONS
+        }
+    )
 
 
 def test_nursery_fraction_sweep(benchmark):

@@ -11,9 +11,8 @@ placement matters).
 
 from repro.config import PolicyName
 from repro.harness.configs import paper_config
-from repro.harness.experiment import run_experiment
 
-from benchmarks.conftest import BENCH_SCALE, print_and_report
+from benchmarks.conftest import BENCH_SCALE, print_and_report, run_grid
 
 #: (label, latency factor, bandwidth factor) — relative to Table 2's
 #: 300 ns / 10 GB/s point.
@@ -26,9 +25,8 @@ TECH_POINTS = [
 
 
 def _run_sweep():
-    out = {}
+    cells = {}
     for label, lat, bw in TECH_POINTS:
-        row = {}
         for policy in (
             PolicyName.DRAM_ONLY,
             PolicyName.UNMANAGED,
@@ -42,8 +40,11 @@ def _run_sweep():
                 nvm_latency_factor=lat,
                 nvm_bandwidth_factor=bw,
             )
-            row[policy.value] = run_experiment("PR", cfg, scale=BENCH_SCALE)
-        out[label] = row
+            cells[(label, policy.value)] = ("PR", cfg)
+    flat = run_grid(cells)
+    out = {label: {} for label, _, _ in TECH_POINTS}
+    for (label, policy), result in flat.items():
+        out[label][policy] = result
     return out
 
 

@@ -27,7 +27,6 @@ from repro.gc.collector import Collector
 from repro.gc.policies import make_policy
 from repro.heap.layout import HEAP_BASE, young_span_bytes
 from repro.heap.managed_heap import ManagedHeap
-from repro.heap.object_model import ObjKind
 from repro.memory.machine import Machine
 
 HEAP = 256 * MiB
@@ -82,8 +81,6 @@ def main() -> None:
     )
 
     # --- map workers stream probe partitions through the young gen -----
-    from repro.config import DeviceKind
-
     for partition in range(PROBE_PARTITIONS):
         # Probe records are short-lived young objects.
         heap.allocate_ephemeral(PROBE_PARTITION_BYTES)

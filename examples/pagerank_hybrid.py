@@ -11,7 +11,6 @@ Run with:  python examples/pagerank_hybrid.py
 """
 
 from repro import PolicyName, paper_config
-from repro.core.static_analysis import analyze_program
 from repro.harness.experiment import run_experiment
 
 SCALE = 0.1

@@ -41,6 +41,11 @@ from repro.harness.configs import (
     paper_config,
     write_rationing_configs,
 )
+from repro.harness.engine import (
+    ExperimentEngine,
+    ExperimentPoint,
+    run_points,
+)
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.harness.report import (
     format_markdown_table,
@@ -67,6 +72,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DeviceKind",
+    "ExperimentEngine",
+    "ExperimentPoint",
     "ExperimentResult",
     "GiB",
     "MemoryTag",
@@ -101,6 +108,7 @@ __all__ = [
     "normalize_results",
     "paper_config",
     "run_experiment",
+    "run_points",
     "summarize",
     "write_rationing_configs",
 ]

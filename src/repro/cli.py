@@ -24,6 +24,14 @@ from repro.workloads.registry import WORKLOADS, build_workload
 _POLICY_CHOICES = {p.value: p for p in PolicyName}
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for --jobs: an integer >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("workload", help="PR, KM, LR, TC, CC, SSSP or BC")
     parser.add_argument("--heap", type=float, default=64.0, help="heap size in GB")
@@ -100,21 +108,26 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     """``repro compare``: the three main policies side by side."""
+    from repro.harness.engine import ExperimentEngine, ExperimentPoint
+
     policies = {
         "dram-only": PolicyName.DRAM_ONLY,
         "unmanaged": PolicyName.UNMANAGED,
         "panthera": PolicyName.PANTHERA,
     }
-    results = {}
-    for name, policy in policies.items():
-        config = paper_config(args.heap, args.ratio, policy, args.scale)
-        results[name] = run_experiment(
+    engine = ExperimentEngine(jobs=getattr(args, "jobs", 1))
+    points = [
+        ExperimentPoint(
             args.workload,
-            config,
-            scale=args.scale,
+            paper_config(args.heap, args.ratio, policy, args.scale),
+            args.scale,
             workload_kwargs=_workload_kwargs(args),
         )
-        print(summarize(results[name]))
+        for policy in policies.values()
+    ]
+    results = dict(zip(policies.keys(), engine.run(points)))
+    for result in results.values():
+        print(summarize(result))
     normalized = normalize_results(results, "dram-only")
     rows = [
         [name, values["time"], values["energy"]]
@@ -146,18 +159,36 @@ def cmd_matrix(args) -> int:
     """``repro matrix``: the full workload x policy matrix."""
     from repro.harness.matrix import matrix_report, run_matrix
 
-    def progress(workload, policy):
-        print(f"  running {workload} [{policy.value}] ...", flush=True)
+    def on_event(event):
+        tick = f"[{event.completed}/{event.total}]"
+        if event.kind == "start":
+            print(f"  {tick} running {event.point.label} ...", flush=True)
+        elif event.kind == "cached":
+            print(f"  {tick} cached  {event.point.label}", flush=True)
+        else:
+            print(
+                f"  {tick} done    {event.point.label} "
+                f"({event.seconds:.1f}s)",
+                flush=True,
+            )
 
     matrix = run_matrix(
         scale=args.scale,
         heap_gb=args.heap,
         dram_ratio=args.ratio,
         workloads=args.workloads,
-        progress=progress,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        on_event=on_event,
     )
     print()
     print(matrix_report(matrix))
+    if args.export_json:
+        from repro.harness.export import matrix_to_json
+
+        with open(args.export_json, "w") as fh:
+            fh.write(matrix_to_json(matrix))
+        print(f"  wrote {args.export_json}")
     return 0
 
 
@@ -212,6 +243,13 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="run DRAM-only / unmanaged / Panthera side by side"
     )
     _add_common(compare_parser)
+    compare_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes (results identical to serial)",
+    )
     compare_parser.set_defaults(fn=cmd_compare)
 
     analyze_parser = sub.add_parser(
@@ -234,6 +272,22 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=None,
         help="subset of PR KM LR TC CC SSSP BC (default: all)",
+    )
+    matrix_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes (results identical to serial)",
+    )
+    matrix_parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result cache (re-runs skip finished cells)",
+    )
+    matrix_parser.add_argument(
+        "--export-json", metavar="PATH", help="write the matrix as JSON"
     )
     matrix_parser.set_defaults(fn=cmd_matrix)
     return parser

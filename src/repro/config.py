@@ -309,8 +309,12 @@ class SystemConfig:
         ):
             # Kingsguard keeps only the nursery (and, for KW, a small
             # migration target) in DRAM; the old generation starts in NVM.
-            return min(self.old_gen_bytes, max(0, self.dram_bytes - self.nursery_bytes)) \
-                if self.policy is PolicyName.KINGSGUARD_WRITES else 0
+            if self.policy is PolicyName.KINGSGUARD_WRITES:
+                return min(
+                    self.old_gen_bytes,
+                    max(0, self.dram_bytes - self.nursery_bytes),
+                )
+            return 0
         return min(self.old_gen_bytes, max(0, self.dram_bytes - self.nursery_bytes))
 
     @property
@@ -321,6 +325,25 @@ class SystemConfig:
     def replace(self, **kwargs) -> "SystemConfig":
         """Return a copy with the given fields replaced."""
         return dataclasses.replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """Every field as a JSON-safe dict, in field order.
+
+        The canonical serialisation used by the experiment engine's
+        content-addressed cache keys: enums become their values, so the
+        output is stable across processes and Python versions.
+        """
+        out = dataclasses.asdict(self)
+        out["policy"] = self.policy.value
+        return out
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 content hash of this configuration."""
+        import hashlib
+        import json
+
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def hybrid_config(

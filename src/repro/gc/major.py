@@ -12,10 +12,10 @@ Kingsguard-Writes, write-hot objects move into the DRAM region.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Set
 
 from repro.errors import GCError
-from repro.heap.object_model import HEADER_BYTES, HeapObject
+from repro.heap.object_model import HeapObject
 from repro.memory.machine import TrafficSet
 from repro.gc.minor import _charge_trace, _gc_processing_ns, _propagate_tag
 

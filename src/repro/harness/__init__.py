@@ -7,11 +7,24 @@ from repro.harness.configs import (
     grid_configs,
     paper_config,
 )
+from repro.harness.engine import (
+    EngineEvent,
+    EngineStats,
+    ExperimentEngine,
+    ExperimentPoint,
+    ResultCache,
+    run_points,
+)
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.harness.report import format_markdown_table, normalize_results
 
 __all__ = [
+    "EngineEvent",
+    "EngineStats",
+    "ExperimentEngine",
+    "ExperimentPoint",
     "ExperimentResult",
+    "ResultCache",
     "fig2c_configs",
     "fig4_configs",
     "format_markdown_table",
@@ -19,4 +32,5 @@ __all__ = [
     "normalize_results",
     "paper_config",
     "run_experiment",
+    "run_points",
 ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -58,6 +59,23 @@ class ExperimentResult:
     action_results: Dict[str, Any] = field(default_factory=dict)
     analysis: Optional[StaticAnalysis] = None
     context: Optional[SparkContext] = None
+
+    def without_runtime_handles(
+        self, keep_analysis: bool = True
+    ) -> "ExperimentResult":
+        """A copy safe to pickle across process boundaries.
+
+        Drops the live :class:`~repro.spark.context.SparkContext` (a web
+        of heap objects, open traces and the whole machine) and — when
+        ``keep_analysis`` is False — the static-analysis record.  All
+        scalar metrics and action results are preserved, so stripped
+        results compare equal to serial ones field for field.
+        """
+        return dataclasses.replace(
+            self,
+            context=None,
+            analysis=self.analysis if keep_analysis else None,
+        )
 
 
 def run_experiment(

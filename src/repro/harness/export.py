@@ -84,6 +84,22 @@ def results_to_csv(results: Mapping[str, ExperimentResult]) -> str:
     return buffer.getvalue()
 
 
+def matrix_to_json(
+    matrix: Mapping[str, Mapping[str, ExperimentResult]],
+    indent: Optional[int] = 2,
+) -> str:
+    """Serialise a nested ``{workload: {policy: result}}`` matrix to JSON.
+
+    The shape :func:`~repro.harness.matrix.run_matrix` returns; used by
+    ``repro matrix --export-json`` and the CI benchmark artifacts.
+    """
+    payload = {
+        workload: {policy: result_to_dict(r) for policy, r in row.items()}
+        for workload, row in matrix.items()
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
 def bandwidth_series_to_csv(result: ExperimentResult) -> str:
     """Figure 8's series as CSV: time_s, device, direction, gbps.
 

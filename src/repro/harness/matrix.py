@@ -3,16 +3,27 @@
 ``run_matrix`` is the "give me everything" entry point: every Table 4
 program under every requested policy at one configuration point,
 returned as a nested dict and renderable as one markdown report — the
-programmatic equivalent of running the whole benchmark suite.
+programmatic equivalent of running the whole benchmark suite.  Since
+every cell is an independent deterministic simulation, the matrix runs
+through :class:`~repro.harness.engine.ExperimentEngine`: ``jobs=N`` fans
+cells across a process pool (bit-identical to the serial run) and
+``cache_dir`` skips cells already computed by a previous sweep.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional
 
-from repro.config import PolicyName, SystemConfig
+from repro.config import PolicyName
 from repro.harness.configs import paper_config
-from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.engine import (
+    EngineEvent,
+    EventCallback,
+    ExperimentEngine,
+    ExperimentPoint,
+)
+from repro.harness.experiment import ExperimentResult
 from repro.harness.report import format_markdown_table
 from repro.workloads.registry import WORKLOADS
 
@@ -30,6 +41,9 @@ def run_matrix(
     workloads: Optional[Iterable[str]] = None,
     policies: Iterable[PolicyName] = DEFAULT_POLICIES,
     progress=None,
+    jobs: int = 1,
+    cache_dir: Optional[os.PathLike] = None,
+    on_event: Optional[EventCallback] = None,
 ) -> Dict[str, Dict[str, ExperimentResult]]:
     """Run every (workload, policy) combination.
 
@@ -38,22 +52,42 @@ def run_matrix(
         heap_gb / dram_ratio: the configuration point.
         workloads: Table 4 abbreviations (default: all seven).
         policies: placement policies to compare.
-        progress: optional callback ``fn(workload, policy)`` invoked
-            before each run (CLI progress reporting).
+        progress: optional callback ``fn(workload, policy)`` invoked once
+            per cell as it is dispatched or served from the cache
+            (legacy CLI progress reporting).
+        jobs: worker processes; ``jobs=1`` runs serially in-process and
+            returns bit-identical results to any parallel run.
+        cache_dir: content-addressed result cache directory (None
+            disables caching).
+        on_event: structured :class:`~repro.harness.engine.EngineEvent`
+            callback for live status rendering.
 
     Returns:
         ``{workload: {policy value: result}}``.
     """
     chosen = list(workloads) if workloads else sorted(WORKLOADS)
+    policy_list = list(policies)
+
+    def relay(event: EngineEvent) -> None:
+        if progress is not None and event.kind in ("start", "cached"):
+            progress(event.point.workload, event.point.config.policy)
+        if on_event is not None:
+            on_event(event)
+
+    engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir, on_event=relay)
+    points = [
+        ExperimentPoint(
+            workload, paper_config(heap_gb, dram_ratio, policy, scale), scale
+        )
+        for workload in chosen
+        for policy in policy_list
+    ]
+    flat = engine.run(points)
+
     out: Dict[str, Dict[str, ExperimentResult]] = {}
+    cursor = iter(flat)
     for workload in chosen:
-        row: Dict[str, ExperimentResult] = {}
-        for policy in policies:
-            if progress is not None:
-                progress(workload, policy)
-            config = paper_config(heap_gb, dram_ratio, policy, scale)
-            row[policy.value] = run_experiment(workload, config, scale=scale)
-        out[workload] = row
+        out[workload] = {policy.value: next(cursor) for policy in policy_list}
     return out
 
 
@@ -73,8 +107,8 @@ def matrix_report(
         row: List[object] = [workload]
         for policy in policies:
             r = results[policy]
-            row.append(r.elapsed_s / base.elapsed_s)
-            row.append(r.energy_j / base.energy_j)
+            row.append(r.elapsed_s / base.elapsed_s if base.elapsed_s else 0.0)
+            row.append(r.energy_j / base.energy_j if base.energy_j else 0.0)
             row.append(r.gc_s / base.gc_s if base.gc_s else 0.0)
         rows.append(row)
     return format_markdown_table(headers, rows)

@@ -11,7 +11,6 @@ from __future__ import annotations
 from typing import Callable, Iterable, List, Optional, Set
 
 from repro.config import SystemConfig
-from repro.core.tags import MemoryTag
 from repro.errors import HeapError, OutOfMemoryError
 from repro.heap.allocator import TagWaitState
 from repro.heap.layout import build_native_space, build_young_spaces

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from repro.spark.rdd import RDD, NarrowDependency, ShuffleDependency, ShuffledRDD
+from repro.spark.rdd import RDD, ShuffleDependency, ShuffledRDD
 
 
 @dataclass

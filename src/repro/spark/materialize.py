@@ -10,7 +10,7 @@ memory tag, while tops and slabs start young and are moved by the GC.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import DeviceKind

@@ -31,7 +31,7 @@ from repro.spark.rdd import (
     ShuffleDependency,
     ShuffledRDD,
 )
-from repro.spark.storage import StorageLevel, expand_level
+from repro.spark.storage import expand_level
 
 
 class Scheduler:

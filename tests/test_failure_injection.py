@@ -8,7 +8,7 @@ state or loop forever.
 
 import pytest
 
-from repro.config import GiB, MiB, PolicyName, SystemConfig
+from repro.config import GiB, MiB, SystemConfig
 from repro.core.tags import MemoryTag
 from repro.errors import (
     ConfigError,
@@ -21,7 +21,7 @@ from repro.errors import (
 from repro.heap.object_model import ObjKind
 from repro.heap.verify import verify_heap
 from repro.spark.storage import StorageLevel
-from tests.conftest import make_stack, small_config, small_context
+from tests.conftest import small_config, small_context
 
 
 class TestOutOfMemory:

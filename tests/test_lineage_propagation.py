@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.lineage_propagation import propagate_tags
 from repro.core.tags import MemoryTag
-from repro.spark.rdd import ShuffledRDD
 from repro.spark.storage import StorageLevel
 from tests.conftest import small_context
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.spark.lineage import build_stages, lineage_string, stage_summary
-from repro.spark.rdd import ShuffledRDD
 from repro.spark.storage import StorageLevel
 from tests.conftest import small_context
 

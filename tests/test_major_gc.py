@@ -1,7 +1,6 @@
 """Major-collection tests: sweep, compaction boundaries, dense prefix,
 dynamic migration and monitor reset (§4.2.2)."""
 
-import pytest
 
 from repro.config import MiB, PolicyName
 from repro.core.tags import MemoryTag

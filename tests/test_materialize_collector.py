@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.config import DeviceKind, MiB
+from repro.config import MiB
 from repro.core.tags import MemoryTag
 from repro.spark.materialize import Materializer
-from tests.conftest import make_stack, small_context
+from tests.conftest import make_stack
 
 
 class FakeRDD:

@@ -5,7 +5,6 @@ import pkgutil
 
 import pytest
 
-from repro.config import PolicyName
 from repro.harness.matrix import matrix_report, run_matrix
 
 

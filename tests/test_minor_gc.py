@@ -1,7 +1,6 @@
 """Minor-collection tests: aging, promotion, eager promotion, tag
 propagation and card hygiene (§4.2.2)."""
 
-import pytest
 
 from repro.config import MiB, PolicyName
 from repro.core.tags import MEMORY_BITS_NVM, MemoryTag

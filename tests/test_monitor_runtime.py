@@ -1,12 +1,10 @@
 """Tests for the access monitor (§4.2.2, §5.5) and runtime API (§4.3)."""
 
-import pytest
 
 from repro.config import MiB
 from repro.core.monitor import AccessMonitor
 from repro.core.tags import MEMORY_BITS_NVM, MemoryTag
 from repro.heap.object_model import ObjKind
-from tests.conftest import make_stack
 
 
 class TestAccessMonitor:

@@ -1,7 +1,6 @@
 """IR coverage for the extended operators (sample, sortByKey,
 aggregateByKey, cogroup, subtractByKey, keys)."""
 
-import pytest
 
 from repro.core.static_analysis import analyze_program
 from repro.core.tags import MemoryTag

@@ -6,7 +6,6 @@ from repro.core.tags import MemoryTag
 from repro.errors import AnalysisError, SparkError
 from repro.spark.program import (
     AssignStmt,
-    DriverStmt,
     LoopStmt,
     Program,
     UnpersistStmt,

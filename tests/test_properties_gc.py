@@ -13,7 +13,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.config import MiB, PolicyName
 from repro.core.tags import MemoryTag
-from repro.heap.object_model import HeapObject, ObjKind
+from repro.heap.object_model import ObjKind
 from tests.conftest import make_stack
 
 POLICIES = [

@@ -6,7 +6,6 @@ pipelines over a random dataset must produce identical results under
 DRAM-only, unmanaged and Panthera — only time/energy may differ.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.config import PolicyName

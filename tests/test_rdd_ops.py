@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.spark.rdd import CoGroupedRDD, NarrowDependency, ShuffleDependency, ShuffledRDD
+from repro.spark.rdd import CoGroupedRDD, NarrowDependency, ShuffleDependency
 from repro.spark.partition import HashPartitioner
 from tests.conftest import small_context
 

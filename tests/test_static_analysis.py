@@ -1,6 +1,5 @@
 """Static analysis tests: every inference rule of §3."""
 
-import pytest
 
 from repro.core.static_analysis import analyze_program
 from repro.core.tags import MemoryTag

@@ -5,7 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.core.tags import MemoryTag
 from repro.spark.partition import HashPartitioner, split_evenly, _stable_hash
-from repro.spark.storage import StorageLevel, TaggedStorageLevel, expand_level
+from repro.spark.storage import StorageLevel, expand_level
 
 
 class TestStorageLevels:

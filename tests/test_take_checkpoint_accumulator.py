@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import DeviceKind, MiB
 from repro.errors import SparkError
-from repro.spark.accumulator import Accumulator, make_accumulator
+from repro.spark.accumulator import make_accumulator
 from tests.conftest import small_context
 
 

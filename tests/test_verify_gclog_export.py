@@ -20,7 +20,6 @@ from repro.harness.export import (
 )
 from repro.heap.object_model import ObjKind
 from repro.heap.verify import verify_heap
-from tests.conftest import make_stack
 
 SCALE = 0.03
 
