@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Run the trace-replay oracle across the smoke workloads.
+
+For every requested workload the script records a full heap trace,
+replays it through :func:`repro.trace.oracle_check` against the final
+heap state and pause list, and writes the raw event stream as a JSONL
+artifact.  Exits non-zero if any workload's trace fails to reconstruct
+its heap — the CI ``trace-oracle`` job runs exactly this.
+
+Usage::
+
+    PYTHONPATH=src python scripts/trace_oracle.py --scale 0.02 --out traces/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.config import PolicyName
+from repro.harness.configs import paper_config
+from repro.harness.experiment import run_experiment
+from repro.trace import oracle_check, write_events_jsonl
+
+DEFAULT_WORKLOADS = ["PR", "KM", "LR", "TC", "CC", "SSSP", "BC"]
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workloads",
+        nargs="*",
+        default=DEFAULT_WORKLOADS,
+        help="Table 4 abbreviations to check (default: all seven)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=sorted(p.value for p in PolicyName),
+        default=PolicyName.PANTHERA.value,
+        help="placement policy to run under",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.02, help="joint data/heap scale"
+    )
+    parser.add_argument(
+        "--heap", type=float, default=64.0, help="heap size in GB"
+    )
+    parser.add_argument(
+        "--ratio", type=float, default=1 / 3, help="DRAM share of memory"
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="directory to write per-workload JSONL traces into",
+    )
+    args = parser.parse_args(argv)
+
+    policy = PolicyName(args.policy)
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = 0
+    for workload in args.workloads:
+        config = paper_config(args.heap, args.ratio, policy, args.scale)
+        result = run_experiment(
+            workload,
+            config,
+            scale=args.scale,
+            keep_context=True,
+            trace=True,
+        )
+        events = result.trace_events or []
+        ctx = result.context
+        problems = oracle_check(ctx.heap, ctx.collector.stats, events)
+        status = "ok" if not problems else "FAIL"
+        print(
+            f"{workload:5s} [{policy.value}] {len(events):6d} events "
+            f"({result.minor_gcs} minor / {result.major_gcs} major) "
+            f"oracle: {status}"
+        )
+        for problem in problems:
+            print(f"      {problem}")
+            failures += 1
+        if out_dir is not None:
+            path = out_dir / f"{workload.lower()}-{policy.value}.jsonl"
+            write_events_jsonl(events, path)
+            print(f"      wrote {path}")
+    if failures:
+        print(f"trace oracle: {failures} mismatch(es)", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

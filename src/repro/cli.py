@@ -50,6 +50,17 @@ def _workload_kwargs(args) -> dict:
     return {"iterations": args.iterations} if args.iterations else {}
 
 
+def _print_trace_report(result, top_n: int = 10, indent: str = "") -> None:
+    """Render one result's recorded trace (timeline + residency table)."""
+    from repro.trace import render_trace_report
+
+    report = render_trace_report(
+        result.trace_events or [], top_n=top_n, end_ns=result.elapsed_s * 1e9
+    )
+    for line in report.splitlines():
+        print(indent + line if line else line)
+
+
 def cmd_run(args) -> int:
     """``repro run``: one workload under one configuration."""
     policy = _POLICY_CHOICES[args.policy]
@@ -122,6 +133,7 @@ def cmd_compare(args) -> int:
             paper_config(args.heap, args.ratio, policy, args.scale),
             args.scale,
             workload_kwargs=_workload_kwargs(args),
+            trace=bool(getattr(args, "trace", False)),
         )
         for policy in policies.values()
     ]
@@ -139,6 +151,44 @@ def cmd_compare(args) -> int:
             ["configuration", "time (norm.)", "energy (norm.)"], rows
         )
     )
+    if getattr(args, "trace", False):
+        for name, result in results.items():
+            print()
+            print(f"### trace: {args.workload} [{name}]")
+            _print_trace_report(result)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """``repro trace``: record, check and render one run's heap trace."""
+    from repro.trace import oracle_check, write_events_jsonl
+
+    policy = _POLICY_CHOICES[args.policy]
+    config = paper_config(args.heap, args.ratio, policy, args.scale)
+    result = run_experiment(
+        args.workload,
+        config,
+        scale=args.scale,
+        workload_kwargs=_workload_kwargs(args),
+        keep_context=True,
+        trace=True,
+    )
+    events = result.trace_events or []
+    print(summarize(result))
+    print()
+    _print_trace_report(result, top_n=args.top)
+    if args.export_jsonl:
+        write_events_jsonl(events, args.export_jsonl)
+        print(f"  wrote {args.export_jsonl} ({len(events)} events)")
+    if args.check:
+        problems = oracle_check(
+            result.context.heap, result.context.collector.stats, events
+        )
+        print(
+            "  replay oracle: "
+            + ("consistent" if not problems else "; ".join(problems))
+        )
+        return 1 if problems else 0
     return 0
 
 
@@ -180,9 +230,16 @@ def cmd_matrix(args) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         on_event=on_event,
+        trace=args.trace,
     )
     print()
     print(matrix_report(matrix))
+    if args.trace:
+        for workload, results in matrix.items():
+            for policy, result in results.items():
+                print()
+                print(f"### trace: {workload} [{policy}]")
+                _print_trace_report(result)
     if args.export_json:
         from repro.harness.export import matrix_to_json
 
@@ -250,7 +307,41 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes (results identical to serial)",
     )
+    compare_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record heap traces and print a report per policy",
+    )
     compare_parser.set_defaults(fn=cmd_compare)
+
+    trace_parser = sub.add_parser(
+        "trace", help="record and render one run's heap event trace"
+    )
+    _add_common(trace_parser)
+    trace_parser.add_argument(
+        "--policy",
+        choices=sorted(_POLICY_CHOICES),
+        default="panthera",
+        help="placement policy",
+    )
+    trace_parser.add_argument(
+        "--top",
+        type=_positive_int,
+        default=10,
+        metavar="N",
+        help="RDD rows in the residency table",
+    )
+    trace_parser.add_argument(
+        "--export-jsonl",
+        metavar="PATH",
+        help="write the raw event stream as JSON lines",
+    )
+    trace_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the trace-replay oracle against the final heap state",
+    )
+    trace_parser.set_defaults(fn=cmd_trace)
 
     analyze_parser = sub.add_parser(
         "analyze", help="show the §3 static analysis for a workload"
@@ -288,6 +379,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     matrix_parser.add_argument(
         "--export-json", metavar="PATH", help="write the matrix as JSON"
+    )
+    matrix_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record heap traces and print a report per cell",
     )
     matrix_parser.set_defaults(fn=cmd_matrix)
     return parser

@@ -33,8 +33,12 @@ def iter_log_lines(stats: GCStats) -> Iterator[str]:
 
 
 def summary_line(stats: GCStats, elapsed_s: float) -> str:
-    """The closing summary line."""
-    share = 100.0 * stats.total_gc_s / elapsed_s if elapsed_s else 0.0
+    """The closing summary line.
+
+    A non-positive ``elapsed_s`` (empty runs, clock glitches) clamps the
+    GC share to 0.0% instead of dividing into a negative or raising.
+    """
+    share = 100.0 * stats.total_gc_s / elapsed_s if elapsed_s > 0 else 0.0
     return (
         f"GC summary: {stats.minor_count} minor ({stats.minor_ns / 1e9:.2f}s), "
         f"{stats.major_count} major ({stats.major_ns / 1e9:.2f}s), "

@@ -14,10 +14,16 @@ from __future__ import annotations
 
 from typing import Set
 
+from repro.config import DeviceKind
 from repro.errors import GCError
 from repro.heap.object_model import HeapObject
 from repro.memory.machine import TrafficSet
 from repro.gc.minor import _charge_trace, _gc_processing_ns, _propagate_tag
+from repro.trace.events import (
+    MIGRATE_DRAM_TO_NVM,
+    MIGRATE_NVM_TO_DRAM,
+    PROMOTE,
+)
 
 
 def run_major_gc(collector) -> None:
@@ -50,15 +56,22 @@ def run_major_gc(collector) -> None:
             if child not in visited:
                 stack.append(child)
 
-    # Phase 2: sweep the old generation.
+    # Phase 2: sweep the old generation.  The dead list is sorted only
+    # when tracing, for a deterministic free-event order; the collection
+    # itself is order-independent.
+    trace = heap.trace
     for space in heap.old_spaces:
         dead = [obj for obj in space.objects if obj not in visited]
+        if trace is not None:
+            dead.sort(key=lambda o: o.oid)
         for obj in dead:
             space.objects.discard(obj)
             if heap.card_table.is_registered(obj):
                 heap.card_table.unregister(obj)
             obj.space = None
             obj.addr = None
+            if trace is not None:
+                trace.free(obj, space.name)
 
     # Phase 3: evacuate the young generation.  A full GC tenures every
     # survivor; tagged objects land in the space their MEMORY_BITS name.
@@ -68,7 +81,17 @@ def run_major_gc(collector) -> None:
         for obj in sorted(space.objects, key=lambda o: o.oid)
         if obj in visited
     ]
+    #: where each survivor came from (its space is cleared by the reset
+    #: below, before the promotion loop re-places it); trace-only.
+    young_src = (
+        {obj: obj.space.name for obj in live_young} if trace is not None else {}
+    )
     for space in heap.young_spaces:
+        if trace is not None:
+            space_name = space.name
+            for obj in sorted(space.objects, key=lambda o: o.oid):
+                if obj not in young_src:
+                    trace.free(obj, space_name)
         space.reset()
 
     # Phase 4: compact each old space in place (never across the
@@ -127,6 +150,9 @@ def run_major_gc(collector) -> None:
             traffic.add(device, write_bytes=nbytes)
         stats.promoted_bytes += obj.size
         obj.age = 0
+        if trace is not None:
+            # The whole young generation is DRAM-resident (§4.1).
+            trace.move(PROMOTE, obj, young_src[obj], heap.eden.device.value)
 
     # Phase 5: dynamic migration (§4.2.2).
     moves = policy.plan_migrations(heap, monitor)
@@ -134,6 +160,8 @@ def run_major_gc(collector) -> None:
         if obj not in visited or obj.space is dst_space:
             continue
         src_pieces = obj.space.object_traffic(obj)
+        src_space_name = obj.space.name
+        src_device = obj.space.device_of(obj.addr)
         was_registered = heap.card_table.is_registered(obj)
         if was_registered:
             heap.card_table.unregister(obj)
@@ -151,6 +179,14 @@ def run_major_gc(collector) -> None:
             if obj.rdd_id is not None:
                 stats.migrated_rdd_ids.add(obj.rdd_id)
         stats.migrated_object_count += 1
+        if trace is not None:
+            dst_device = dst_space.device_of(obj.addr)
+            kind = (
+                MIGRATE_NVM_TO_DRAM
+                if dst_device is DeviceKind.DRAM
+                else MIGRATE_DRAM_TO_NVM
+            )
+            trace.move(kind, obj, src_space_name, src_device.value)
 
     # Phase 6: housekeeping.  Every card is cleaned; write counters and
     # RDD call frequencies start a new cycle; old objects age one major

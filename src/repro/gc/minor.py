@@ -27,6 +27,7 @@ from repro.core.tags import MEMORY_BITS_NONE, MemoryTag, merge_tags
 from repro.errors import GCError
 from repro.heap.object_model import HEADER_BYTES, HeapObject
 from repro.memory.machine import TrafficSet
+from repro.trace.events import PROMOTE, SURVIVOR_COPY
 
 
 def _charge_trace(traffic: TrafficSet, obj: HeapObject) -> None:
@@ -137,11 +138,14 @@ def run_minor_gc(collector) -> None:
 
     # Phase 3: copy / promote.
     traffic = copy_traffic
+    trace = heap.trace
     survivor_to = heap.survivor_to
     threshold = config.tenuring_threshold
     promoted: List[HeapObject] = []
     for obj in young_live:
         src_pieces = obj.space.object_traffic(obj)
+        src_space = obj.space.name
+        src_device = obj.space.device_of(obj.addr).value
         eager_space = policy.eager_promotion_space(heap, obj)
         if eager_space is not None:
             dest = eager_space
@@ -155,6 +159,8 @@ def run_minor_gc(collector) -> None:
                 _charge_copy(traffic, src_pieces, obj, survivor_to)
                 obj.age += 1
                 stats.copied_bytes += obj.size
+                if trace is not None:
+                    trace.move(SURVIVOR_COPY, obj, src_space, src_device)
                 continue
             # Survivor overflow: fall through to promotion.
             dest = policy.promotion_space(heap, obj)
@@ -167,6 +173,8 @@ def run_minor_gc(collector) -> None:
         obj.age = 0  # age now counts survived major cycles
         stats.promoted_bytes += nbytes
         promoted.append(obj)
+        if trace is not None:
+            trace.move(PROMOTE, obj, src_space, src_device)
 
     # Phase 4: card hygiene.  Freshly-scanned cards are cleaned unless the
     # object still holds young references (e.g. its tuples are still aging
@@ -181,9 +189,15 @@ def run_minor_gc(collector) -> None:
                 heap.card_table.register(obj)
             heap.card_table.mark_dirty(obj)
 
-    # Phase 5: flip the young generation.
-    heap.eden.reset()
-    heap.survivor_from.reset()
+    # Phase 5: flip the young generation.  Everything still registered in
+    # eden or the from-space is dead (survivors were evacuated above), so
+    # the death events are published before the spaces are wiped.
+    for space in (heap.eden, heap.survivor_from):
+        if trace is not None:
+            space_name = space.name
+            for obj in sorted(space.objects, key=lambda o: o.oid):
+                trace.free(obj, space_name)
+        space.reset()
     heap.survivor_from, heap.survivor_to = heap.survivor_to, heap.survivor_from
 
     machine.clock.advance(config.gc_fixed_pause_ns)

@@ -4,7 +4,7 @@ Table 5."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 
 @dataclass
@@ -23,6 +23,8 @@ class GCStats:
         migrated_rdd_ids: RDDs moved by dynamic migration (Table 5).
         migrated_object_count: objects moved by dynamic migration.
         pauses: (kind, start_ns, duration_ns) per collection.
+        trace: optional :class:`~repro.trace.bus.TraceBus` each recorded
+            pause is also published to as a ``gc_pause`` event.
     """
 
     minor_count: int = 0
@@ -38,18 +40,23 @@ class GCStats:
     migrated_rdd_ids: Set[int] = field(default_factory=set)
     migrated_object_count: int = 0
     pauses: List[Tuple[str, float, float]] = field(default_factory=list)
+    trace: Optional[object] = field(default=None, repr=False, compare=False)
 
     def record_minor(self, start_ns: float, duration_ns: float) -> None:
         """Account one minor collection."""
         self.minor_count += 1
         self.minor_ns += duration_ns
         self.pauses.append(("minor", start_ns, duration_ns))
+        if self.trace is not None:
+            self.trace.gc_pause("minor", start_ns, duration_ns)
 
     def record_major(self, start_ns: float, duration_ns: float) -> None:
         """Account one major collection."""
         self.major_count += 1
         self.major_ns += duration_ns
         self.pauses.append(("major", start_ns, duration_ns))
+        if self.trace is not None:
+            self.trace.gc_pause("major", start_ns, duration_ns)
 
     @property
     def total_gc_ns(self) -> float:

@@ -81,12 +81,15 @@ class ExperimentPoint:
         scale: joint data/heap scale factor.
         workload_kwargs: extra keyword arguments for the workload builder
             (e.g. ``{"iterations": 3}``).
+        trace: record the heap event stream (see :mod:`repro.trace`) and
+            carry it on the result as ``trace_events``.
     """
 
     workload: str
     config: SystemConfig
     scale: float = 1.0
     workload_kwargs: Dict[str, Any] = field(default_factory=dict)
+    trace: bool = False
 
     @property
     def label(self) -> str:
@@ -104,6 +107,7 @@ class ExperimentPoint:
             "code": code_version(),
             "config": self.config.to_dict(),
             "scale": self.scale,
+            "trace": self.trace,
             "workload": self.workload,
             "workload_kwargs": dict(sorted(self.workload_kwargs.items())),
         }
@@ -206,6 +210,7 @@ def _execute_point(
         point.config,
         scale=point.scale,
         workload_kwargs=point.workload_kwargs or None,
+        trace=point.trace,
     )
     stripped = result.without_runtime_handles(keep_analysis=keep_analysis)
     return stripped, time.perf_counter() - started

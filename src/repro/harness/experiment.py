@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.config import DeviceKind, PolicyName, SystemConfig
 from repro.core.static_analysis import StaticAnalysis, analyze_program
@@ -12,6 +12,8 @@ from repro.memory.machine import Machine
 from repro.spark.context import SparkContext
 from repro.spark.costmodel import MutatorCosts
 from repro.spark.program import execute_program
+from repro.trace import TraceSession
+from repro.trace.events import TraceEvent
 from repro.workloads.registry import build_workload
 
 
@@ -37,6 +39,9 @@ class ExperimentResult:
         action_results: the workload's actual outputs (for validation).
         analysis: the static analysis result (Panthera runs only).
         context: the live SparkContext when ``keep_context`` was set.
+        trace_events: the recorded heap event stream when ``trace`` was
+            set (plain picklable dataclasses, preserved across process
+            boundaries).
     """
 
     workload: str
@@ -59,6 +64,7 @@ class ExperimentResult:
     action_results: Dict[str, Any] = field(default_factory=dict)
     analysis: Optional[StaticAnalysis] = None
     context: Optional[SparkContext] = None
+    trace_events: Optional[List[TraceEvent]] = None
 
     def without_runtime_handles(
         self, keep_analysis: bool = True
@@ -86,6 +92,7 @@ def run_experiment(
     workload_kwargs: Optional[Dict[str, Any]] = None,
     bandwidth_window_ns: float = 1e9,
     keep_context: bool = False,
+    trace: bool = False,
 ) -> ExperimentResult:
     """Run one workload under one configuration.
 
@@ -99,18 +106,24 @@ def run_experiment(
         bandwidth_window_ns: Figure 8 trace resolution.
         keep_context: retain the full context on the result (heavier, but
             needed for bandwidth traces and heap inspection).
+        trace: record the heap event stream (see :mod:`repro.trace`) and
+            attach it to the result as ``trace_events``.
     """
     spec = build_workload(workload, scale=scale, **(workload_kwargs or {}))
     ctx = SparkContext.create(
         config, costs=costs, bandwidth_window_ns=bandwidth_window_ns
     )
+    session = TraceSession.attach_to_context(ctx) if trace else None
     analysis: Optional[StaticAnalysis] = None
     tags: Dict[str, Any] = {}
     if ctx.panthera_enabled:
         analysis = analyze_program(spec.program)
         tags = analysis.tags
     action_results = execute_program(spec.program, ctx, tags)
-    return _collect(spec.name, config, ctx, action_results, analysis, keep_context)
+    result = _collect(spec.name, config, ctx, action_results, analysis, keep_context)
+    if session is not None:
+        result.trace_events = session.events
+    return result
 
 
 def _collect(

@@ -44,6 +44,7 @@ def run_matrix(
     jobs: int = 1,
     cache_dir: Optional[os.PathLike] = None,
     on_event: Optional[EventCallback] = None,
+    trace: bool = False,
 ) -> Dict[str, Dict[str, ExperimentResult]]:
     """Run every (workload, policy) combination.
 
@@ -61,6 +62,8 @@ def run_matrix(
             disables caching).
         on_event: structured :class:`~repro.harness.engine.EngineEvent`
             callback for live status rendering.
+        trace: record each cell's heap event stream (attached to the
+            results as ``trace_events``; identical for any ``jobs``).
 
     Returns:
         ``{workload: {policy value: result}}``.
@@ -77,7 +80,10 @@ def run_matrix(
     engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir, on_event=relay)
     points = [
         ExperimentPoint(
-            workload, paper_config(heap_gb, dram_ratio, policy, scale), scale
+            workload,
+            paper_config(heap_gb, dram_ratio, policy, scale),
+            scale,
+            trace=trace,
         )
         for workload in chosen
         for policy in policy_list

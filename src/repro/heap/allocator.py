@@ -25,6 +25,9 @@ class TagWaitState:
         self.large_array_threshold = large_array_threshold
         self._pending: Optional[MemoryTag] = None
         self._armed = False
+        #: optional :class:`~repro.trace.bus.TraceBus`; when set, each
+        #: recognised backbone array publishes a ``tag_recognized`` event.
+        self.trace = None
 
     def arm(self, tag: Optional[MemoryTag]) -> None:
         """Enter the wait state with a pending tag.
@@ -58,6 +61,8 @@ class TagWaitState:
             return None
         tag = self._pending
         self.reset()
+        if self.trace is not None:
+            self.trace.tag_recognized(tag, size)
         return tag
 
     def reset(self) -> None:

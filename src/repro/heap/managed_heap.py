@@ -65,6 +65,10 @@ class ManagedHeap:
         self.collector = None
         #: optional callback invoked on every mutator ref write (KW barrier)
         self.write_barrier_hook: Optional[Callable[[HeapObject], None]] = None
+        #: optional :class:`~repro.trace.bus.TraceBus` the allocator and
+        #: the GCs publish placement events to (None = tracing off; every
+        #: emission site is guarded so the disabled cost is one check).
+        self.trace = None
 
     # -- space queries -----------------------------------------------------
 
@@ -157,6 +161,8 @@ class ManagedHeap:
             self._require_collector().collect_minor()
             if not self.eden.place(obj):
                 raise OutOfMemoryError("eden full even after a minor GC")
+        if self.trace is not None:
+            self.trace.alloc(obj)
         return obj
 
     def allocate_rdd_array(self, size: int, rdd_id: Optional[int]) -> HeapObject:
@@ -179,16 +185,34 @@ class ManagedHeap:
                 collector.collect_minor()
                 if not self.eden.place(obj):
                     raise OutOfMemoryError("eden full even after a minor GC")
+            if self.trace is not None:
+                self.trace.alloc(obj)
             return obj
         for attempt in range(2):
             space = collector.policy.array_allocation_space(self, tag, size)
             if self._place_in_old(obj, space):
+                if self.trace is not None:
+                    self.trace.alloc(obj)
                 return obj
             if attempt == 0:
                 collector.collect_major()
         raise OutOfMemoryError(
             f"cannot place a {size}-byte RDD array in the old generation"
         )
+
+    def allocate_native(self, size: int, rdd_id: Optional[int]) -> HeapObject:
+        """Place an OFF_HEAP RDD array in the native (non-GC'd) region.
+
+        Native objects are never collected: they live until the end of
+        the run, outside the generational machinery (§4.1's off-heap
+        NVM storage).
+        """
+        obj = HeapObject(ObjKind.RDD_ARRAY, int(size), rdd_id=rdd_id)
+        if not self.native.place(obj):
+            raise OutOfMemoryError("native (off-heap) memory exhausted")
+        if self.trace is not None:
+            self.trace.alloc(obj)
+        return obj
 
     def _place_in_old(self, obj: HeapObject, space: Space) -> bool:
         """Place an object in an old space, falling back across old spaces

@@ -78,6 +78,8 @@ class BlockManager:
         block = self._blocks.pop(rdd_id, None)
         if block is not None and not block.on_disk:
             self._release_heap_objects(block)
+        if block is not None and self.heap.trace is not None:
+            self.heap.trace.block_event("unpersist", rdd_id, block.data_bytes)
 
     def _release_heap_objects(self, block: MaterializedBlock) -> None:
         """Unroot a block and stop card-scanning its (now garbage) arrays."""
@@ -156,9 +158,13 @@ class BlockManager:
         self._release_heap_objects(block)
         block.on_disk = True
         self.spilled_count += 1
+        if self.heap.trace is not None:
+            self.heap.trace.block_event("spill", block.rdd_id, block.data_bytes)
 
     def _drop(self, block: MaterializedBlock) -> None:
         """Drop a MEMORY_ONLY block entirely; lineage will recompute it."""
         self._release_heap_objects(block)
         del self._blocks[block.rdd_id]
         self.dropped_count += 1
+        if self.heap.trace is not None:
+            self.heap.trace.block_event("drop", block.rdd_id, block.data_bytes)

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Set
 from repro.config import DeviceKind
 from repro.core.lineage_propagation import propagate_tags
 from repro.core.tags import MemoryTag
-from repro.errors import SparkError
+from repro.errors import OutOfMemoryError, SparkError
 from repro.heap.object_model import ObjKind
 from repro.spark.materialize import MaterializedBlock
 from repro.spark.partition import Record
@@ -324,7 +324,6 @@ class Scheduler:
     def _materialize_off_heap(self, rdd: RDD, parts: List[List[Record]]):
         """OFF_HEAP persistence: native NVM memory, outside the GC (§4.1)."""
         heap = self.ctx.heap
-        from repro.heap.object_model import HeapObject
 
         top = heap.new_object(ObjKind.CONTROL, 64, rdd.id)
         arrays = []
@@ -333,9 +332,10 @@ class Scheduler:
         for records in parts:
             part_bytes = len(records) * rdd.bytes_per_record
             total += part_bytes
-            native_obj = HeapObject(ObjKind.RDD_ARRAY, int(part_bytes), rdd.id)
-            if not heap.native.place(native_obj):
-                raise SparkError("native (off-heap) memory exhausted")
+            try:
+                native_obj = heap.allocate_native(part_bytes, rdd.id)
+            except OutOfMemoryError as exc:
+                raise SparkError(str(exc)) from exc
             self.ctx.machine.access(
                 heap.native.device,
                 write_bytes=part_bytes,

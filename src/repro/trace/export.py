@@ -1,0 +1,62 @@
+"""Trace serialisation: JSONL event streams and JSON residency profiles.
+
+One event per line, in emission order, with None-valued fields omitted —
+the memray-style interchange format downstream tools (and the CI trace
+artifact) consume.  The format round-trips: a stream written with
+:func:`events_to_jsonl` and read back with :func:`events_from_jsonl`
+replays to the identical heap state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, List
+
+from repro.trace.aggregate import TraceAggregator
+from repro.trace.events import TraceEvent
+
+
+def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Serialise an event stream to JSONL (one compact object per line)."""
+    lines = [
+        json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+        for event in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def events_from_jsonl(text: str) -> List[TraceEvent]:
+    """Parse a JSONL trace back into events (inverse of
+    :func:`events_to_jsonl`)."""
+    events: List[TraceEvent] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+def write_events_jsonl(events: Iterable[TraceEvent], path: os.PathLike) -> int:
+    """Write a JSONL trace to ``path``; returns the event count."""
+    text = events_to_jsonl(list(events))
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text.count("\n")
+
+
+def profiles_to_json(aggregator: TraceAggregator, indent: int = 2) -> str:
+    """Serialise an aggregator's per-RDD residency profiles to JSON."""
+    payload = {
+        str(rdd_id): {
+            "dram_byte_s": profile.dram_byte_s,
+            "nvm_byte_s": profile.nvm_byte_s,
+            "migrations_to_dram": profile.migrations_to_dram,
+            "migrations_to_nvm": profile.migrations_to_nvm,
+            "alloc_bytes": profile.alloc_bytes,
+            "freed_bytes": profile.freed_bytes,
+            "peak_bytes": profile.peak_bytes,
+        }
+        for rdd_id, profile in sorted(aggregator.profiles.items())
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)

@@ -108,6 +108,27 @@ class TestGCLog:
         line = summary_line(stats, elapsed_s=10.0)
         assert "(10.0%)" in line
 
+    def test_summary_clamps_zero_elapsed(self):
+        from repro.gc.stats import GCStats
+
+        stats = GCStats()
+        stats.record_minor(0, 1e9)
+        assert summary_line(stats, elapsed_s=0.0) == (
+            "GC summary: 1 minor (1.00s), 0 major (0.00s), "
+            "total 1.00s (0.0%)"
+        )
+
+    def test_summary_clamps_negative_elapsed(self):
+        from repro.gc.stats import GCStats
+
+        stats = GCStats()
+        stats.record_minor(0, 2e9)
+        stats.record_major(2e9, 5e8)
+        assert summary_line(stats, elapsed_s=-3.5) == (
+            "GC summary: 1 minor (2.00s), 1 major (0.50s), "
+            "total 2.50s (0.0%)"
+        )
+
 
 class TestExport:
     def test_result_to_dict_fields(self, pr_result):
