@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Check that every relative link in the documentation resolves.
+
+Scans ``README.md`` and ``docs/*.md`` for Markdown links and image
+references, skips external targets (``http://``, ``https://``,
+``mailto:``), pure in-page anchors (``#section``) and GitHub virtual
+paths that resolve outside the repository (the ``../../actions/...``
+badge idiom), and verifies the remaining paths exist relative to the
+file that references them.  Exits non-zero listing every broken link —
+the CI docs job runs exactly this.
+
+Usage::
+
+    python scripts/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+#: Markdown inline links/images: [text](target) / ![alt](target).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(path: pathlib.Path):
+    """Yield (line_number, target) for every link in one file."""
+    inside_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            inside_fence = not inside_fence
+            continue
+        if inside_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list:
+    """All broken relative links in one Markdown file."""
+    problems = []
+    root = root.resolve()
+    for lineno, target in iter_links(path):
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.is_relative_to(root):
+            continue  # GitHub virtual path (e.g. the CI badge), not a file
+        if not resolved.exists():
+            problems.append(f"{path}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root (default: current directory)",
+    )
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(args.root)
+    files = sorted(root.glob("docs/*.md"))
+    readme = root / "README.md"
+    if readme.exists():
+        files.insert(0, readme)
+
+    problems = []
+    for path in files:
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(
+        f"checked {len(files)} files: "
+        + ("all links resolve" if not problems else f"{len(problems)} broken")
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,9 +7,19 @@ heap state and pause list, and writes the raw event stream as a JSONL
 artifact.  Exits non-zero if any workload's trace fails to reconstruct
 its heap — the CI ``trace-oracle`` job runs exactly this.
 
+The replayed vocabulary covers every placement event (``alloc``,
+``survivor_copy``, ``promote``, ``migrate_dram_to_nvm``,
+``migrate_nvm_to_dram``, ``free``, ``gc_pause``); the informational
+kinds (``spill``, ``drop``, ``unpersist``, ``tag_recognized``,
+``fallback``, ``throttle``, ``recompute``) annotate the stream without
+affecting replayed heap state.  ``--faults`` injects a small standard
+fault plan (one shuffle kill, one NVM throttle window, a 30% NVM
+balloon) so the fault-only kinds actually appear in the checked traces.
+
 Usage::
 
     PYTHONPATH=src python scripts/trace_oracle.py --scale 0.02 --out traces/
+    PYTHONPATH=src python scripts/trace_oracle.py --scale 0.02 --faults
 """
 
 from __future__ import annotations
@@ -56,12 +66,28 @@ def main(argv=None) -> int:
         default=None,
         help="directory to write per-workload JSONL traces into",
     )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="inject the standard smoke fault plan so fallback/throttle/"
+        "recompute events appear in the checked traces",
+    )
     args = parser.parse_args(argv)
 
     policy = PolicyName(args.policy)
     out_dir = pathlib.Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
+
+    plan = None
+    if args.faults:
+        from repro.faults import FaultPlan, KillSpec, ThrottleSpec
+
+        plan = FaultPlan(
+            kills=[KillSpec("shuffle", 2, partition=1)],
+            throttles=[ThrottleSpec(0, 2e9, 4.0)],
+            nvm_balloon_fraction=0.3,
+        )
 
     failures = 0
     for workload in args.workloads:
@@ -72,6 +98,7 @@ def main(argv=None) -> int:
             scale=args.scale,
             keep_context=True,
             trace=True,
+            faults=plan,
         )
         events = result.trace_events or []
         ctx = result.context

@@ -34,6 +34,14 @@ from repro.config import (
 )
 from repro.core.static_analysis import StaticAnalysis, analyze_program
 from repro.core.tags import MemoryTag
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultReport,
+    KillSpec,
+    ThrottleSpec,
+    action_checksums,
+)
 from repro.harness.configs import (
     fig2c_configs,
     fig4_configs,
@@ -75,7 +83,13 @@ __all__ = [
     "ExperimentEngine",
     "ExperimentPoint",
     "ExperimentResult",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
     "GiB",
+    "KillSpec",
+    "ThrottleSpec",
+    "action_checksums",
     "MemoryTag",
     "MiB",
     "MutatorCosts",

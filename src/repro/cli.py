@@ -192,6 +192,148 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _parse_kill(text: str):
+    """argparse type for --kill: ``KIND:BOUNDARY[:PARTITION]``."""
+    from repro.errors import FaultError
+    from repro.faults import KILL_KINDS, KillSpec
+
+    parts = text.split(":")
+    if len(parts) not in (2, 3) or parts[0] not in KILL_KINDS:
+        raise argparse.ArgumentTypeError(
+            f"expected KIND:BOUNDARY[:PARTITION] with KIND in {KILL_KINDS}"
+        )
+    try:
+        boundary = int(parts[1])
+        partition = int(parts[2]) if len(parts) == 3 else 0
+        return KillSpec(parts[0], boundary, partition)
+    except (ValueError, FaultError) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _parse_throttle(text: str):
+    """argparse type for --throttle: ``START_S:DURATION_S:FACTOR``."""
+    from repro.errors import FaultError
+    from repro.faults import ThrottleSpec
+
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError("expected START_S:DURATION_S:FACTOR")
+    try:
+        start_s, duration_s, factor = (float(p) for p in parts)
+        return ThrottleSpec(start_s * 1e9, duration_s * 1e9, factor)
+    except (ValueError, FaultError) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def cmd_faults(args) -> int:
+    """``repro faults``: inject a fault plan and check convergence.
+
+    Runs the workload twice through one engine — once fault-free, once
+    under the plan — and verifies the faulted run's action checksums
+    match the clean run's (lineage recovery converged).  Prints the
+    measured :class:`~repro.faults.report.FaultReport`.
+    """
+    import dataclasses
+    import json as _json
+
+    from repro.faults import FaultPlan, action_checksums
+    from repro.harness.engine import ExperimentEngine, ExperimentPoint
+
+    policy = _POLICY_CHOICES[args.policy]
+    config = paper_config(args.heap, args.ratio, policy, args.scale)
+    engine = ExperimentEngine(jobs=args.jobs, cache_dir=args.cache_dir)
+
+    def point(plan):
+        return ExperimentPoint(
+            args.workload,
+            config,
+            args.scale,
+            workload_kwargs=_workload_kwargs(args),
+            trace=bool(args.trace),
+            faults=plan,
+        )
+
+    # Fault-free reference run.  It carries an *empty* plan so the
+    # injector counts stage boundaries for us (needed to place random
+    # kills) without perturbing anything.
+    baseline = engine.run([point(FaultPlan(seed=args.seed))])[0]
+    boundaries = baseline.fault_report.boundaries_seen
+    print(f"baseline: {summarize(baseline)}")
+    print(f"  stage boundaries: {boundaries}")
+
+    if args.random:
+        plan = FaultPlan.random(
+            args.seed,
+            max_boundary=boundaries,
+            kills=args.random,
+            max_recovery_attempts=args.attempts,
+        )
+        plan = dataclasses.replace(
+            plan,
+            throttles=list(args.throttle or []),
+            nvm_balloon_fraction=args.balloon,
+        )
+    else:
+        plan = FaultPlan(
+            kills=list(args.kill or []),
+            throttles=list(args.throttle or []),
+            nvm_balloon_fraction=args.balloon,
+            max_recovery_attempts=args.attempts,
+            seed=args.seed,
+        )
+    if plan.is_empty:
+        print("fault plan is empty; nothing to inject "
+              "(use --kill / --throttle / --balloon / --random)")
+        return 2
+    for kill in plan.kills:
+        print(f"  plan: kill {kill.kind} at boundary {kill.at_boundary} "
+              f"(partition {kill.partition})")
+    for window in plan.throttles:
+        print(f"  plan: throttle NVM x{window.factor:g} from "
+              f"{window.start_ns / 1e9:.2f}s for "
+              f"{window.duration_ns / 1e9:.2f}s")
+    if plan.nvm_balloon_fraction:
+        print(f"  plan: balloon {plan.nvm_balloon_fraction:.0%} of free NVM")
+
+    faulted = engine.run([point(plan)])[0]
+    print(f"faulted:  {summarize(faulted)}")
+    report = faulted.fault_report
+    for line in report.summary_lines():
+        print("  " + line)
+
+    clean_sums = action_checksums(baseline.action_results)
+    fault_sums = action_checksums(faulted.action_results)
+    diverged = sorted(
+        name
+        for name in set(clean_sums) | set(fault_sums)
+        if clean_sums.get(name) != fault_sums.get(name)
+    )
+    if diverged:
+        print(f"  DIVERGED actions: {', '.join(diverged)}")
+    else:
+        print(f"  converged: all {len(clean_sums)} action checksums match "
+              "the fault-free run")
+    if args.trace:
+        print()
+        _print_trace_report(faulted)
+    if args.export_report:
+        payload = {
+            "workload": args.workload,
+            "policy": args.policy,
+            "scale": args.scale,
+            "plan": plan.to_dict(),
+            "report": report.to_dict(),
+            "converged": not diverged,
+            "diverged_actions": diverged,
+            "checksums": fault_sums,
+        }
+        with open(args.export_report, "w") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"  wrote {args.export_report}")
+    return 1 if diverged else 0
+
+
 def cmd_analyze(args) -> int:
     """``repro analyze``: show the §3 static analysis for a workload."""
     spec = build_workload(args.workload, scale=args.scale, **_workload_kwargs(args))
@@ -342,6 +484,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the trace-replay oracle against the final heap state",
     )
     trace_parser.set_defaults(fn=cmd_trace)
+
+    faults_parser = sub.add_parser(
+        "faults",
+        help="inject faults, check lineage recovery converges, "
+        "report the cost",
+    )
+    _add_common(faults_parser)
+    faults_parser.add_argument(
+        "--policy",
+        choices=sorted(_POLICY_CHOICES),
+        default="panthera",
+        help="placement policy",
+    )
+    faults_parser.add_argument(
+        "--kill",
+        type=_parse_kill,
+        action="append",
+        metavar="KIND:BOUNDARY[:PARTITION]",
+        help="kill at a stage boundary (KIND: shuffle or block); repeatable",
+    )
+    faults_parser.add_argument(
+        "--throttle",
+        type=_parse_throttle,
+        action="append",
+        metavar="START_S:DURATION_S:FACTOR",
+        help="NVM bandwidth-throttle window on the simulated clock; "
+        "repeatable",
+    )
+    faults_parser.add_argument(
+        "--balloon",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="pre-fill this fraction of free NVM old space (degradation "
+        "ladder: NVM->DRAM fallback, spill, abort)",
+    )
+    faults_parser.add_argument(
+        "--random",
+        type=_positive_int,
+        default=0,
+        metavar="N",
+        help="generate N seeded random kills instead of --kill specs",
+    )
+    faults_parser.add_argument(
+        "--seed", type=int, default=0, help="seed for --random plans"
+    )
+    faults_parser.add_argument(
+        "--attempts",
+        type=_positive_int,
+        default=3,
+        metavar="N",
+        help="bounded recovery attempts per lost partition",
+    )
+    faults_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes (results identical to serial)",
+    )
+    faults_parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result cache",
+    )
+    faults_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record the faulted run's heap trace and print a report",
+    )
+    faults_parser.add_argument(
+        "--export-report",
+        metavar="PATH",
+        help="write plan + FaultReport + checksums as JSON",
+    )
+    faults_parser.set_defaults(fn=cmd_faults)
 
     analyze_parser = sub.add_parser(
         "analyze", help="show the §3 static analysis for a workload"

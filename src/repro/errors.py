@@ -33,3 +33,7 @@ class SparkError(ReproError):
 
 class AnalysisError(ReproError):
     """The static analysis was given a malformed program IR."""
+
+
+class FaultError(ReproError):
+    """A fault plan is invalid, or recovery exceeded its bounded retries."""

@@ -1,0 +1,34 @@
+"""``repro.faults``: seeded, deterministic fault injection with
+lineage-based recovery and graceful degradation.
+
+Three layers (see docs/FAULTS.md for the fault model):
+
+1. :mod:`~repro.faults.plan` — the declarative, picklable
+   :class:`FaultPlan` (:class:`KillSpec` executor losses at stage
+   boundaries, :class:`ThrottleSpec` NVM bandwidth-collapse windows,
+   the NVM-exhaustion balloon fraction, the bounded retry budget).
+2. :mod:`~repro.faults.injector` — :class:`FaultInjector` executes the
+   plan against a live context: fires kills at boundaries, drives the
+   scheduler's forced map-stage re-runs and persisted-block
+   recomputations, and measures every recovery window.
+3. :mod:`~repro.faults.report` — the measured :class:`FaultReport`
+   (recomputation cost, extra GC work, fallback bytes, throttle time)
+   and the :func:`action_checksums` convergence oracle.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import FaultInjector, ThrottleSchedule
+from repro.faults.plan import KILL_KINDS, FaultPlan, KillSpec, ThrottleSpec
+from repro.faults.report import FaultReport, action_checksums
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "KILL_KINDS",
+    "KillSpec",
+    "ThrottleSchedule",
+    "ThrottleSpec",
+    "action_checksums",
+]

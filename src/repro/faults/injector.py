@@ -1,0 +1,306 @@
+"""The fault injector: turns a :class:`~repro.faults.plan.FaultPlan`
+into scheduled damage, drives bounded lineage recovery, and measures
+what the recovery cost.
+
+The injector is the only piece of fault machinery the hot paths see,
+and they see it the same way they see tracing: one ``is None`` check.
+The scheduler calls in at three points —
+
+* :meth:`stage_boundary` / :meth:`action_boundary` advance the boundary
+  counter and fire kills scheduled for it;
+* :meth:`ensure_shuffle_partition` recovers a lost reduce partition by
+  forcing its map stage to re-run through lineage (bounded retries);
+* :meth:`materialize_persisted` wraps the scheduler's normal persisted-
+  block materialisation so the recomputation of a *killed* block is
+  measured (clock delta, GC pauses inside the window) and announced as
+  a ``recompute`` trace event.
+
+Everything the injector does is a deterministic function of the plan
+and the simulated execution — no wall clock, no unseeded randomness —
+so an injected run is byte-identical across ``--jobs 1`` and
+``--jobs N``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.config import DeviceKind
+from repro.errors import FaultError
+from repro.faults.plan import FaultPlan, KillSpec, ThrottleSpec
+from repro.faults.report import FaultReport
+from repro.heap.object_model import HeapObject, ObjKind
+
+
+class ThrottleSchedule:
+    """The machine-side view of the plan's NVM throttle windows.
+
+    Installed as ``machine.nvm_throttle``;
+    :meth:`~repro.memory.machine.Machine.run_batch` calls :meth:`apply`
+    for every batch with NVM traffic.  The stretched batch duration
+    flows into the bandwidth tracker unchanged, so Figure 8's NVM
+    series shows the collapse without any extra plumbing.
+    """
+
+    def __init__(self, windows: List[ThrottleSpec]) -> None:
+        self.windows = sorted(windows, key=lambda w: (w.start_ns, w.end_ns))
+        self.throttled_batches = 0
+        self.extra_ns = 0.0
+
+    def factor_at(self, t_ns: float) -> float:
+        """The slowdown factor active at ``t_ns`` (1.0 = no throttle;
+        overlapping windows compound, worst-case thermal behaviour)."""
+        factor = 1.0
+        for window in self.windows:
+            if window.covers(t_ns):
+                factor *= window.factor
+        return factor
+
+    def apply(self, start_ns: float, device_ns: float) -> float:
+        """Stretch one NVM batch that starts at ``start_ns``."""
+        factor = self.factor_at(start_ns)
+        if factor <= 1.0:
+            return device_ns
+        self.throttled_batches += 1
+        self.extra_ns += device_ns * (factor - 1.0)
+        return device_ns * factor
+
+
+class FaultInjector:
+    """Executes one :class:`FaultPlan` against a live SparkContext."""
+
+    def __init__(self, plan: FaultPlan, ctx) -> None:
+        self.plan = plan
+        self.ctx = ctx
+        self.boundaries_seen = 0
+        self.kills_fired = 0
+        self.kills_noop = 0
+        self.partitions_recomputed = 0
+        self.recompute_ns = 0.0
+        self.recovery_gc_pauses = 0
+        self.recovery_gc_ns = 0.0
+        self.recovery_attempts_max = 0
+        self.balloon_bytes = 0.0
+        self.throttle = ThrottleSchedule(list(plan.throttles))
+        self._unfired: List[KillSpec] = list(plan.kills)
+        self._last_shuffle_dep = None
+        #: RDD ids whose persisted block a kill destroyed; their next
+        #: materialisation is recovery (measured), not a first build.
+        self._killed_blocks: Set[int] = set()
+        self._balloon: Optional[HeapObject] = None
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, plan: FaultPlan, ctx) -> "FaultInjector":
+        """Install the plan on a freshly built context: hook the
+        scheduler (``ctx.faults``), install the NVM throttle schedule,
+        inflate the NVM balloon, and announce the throttle windows on
+        the trace bus (if tracing is on)."""
+        injector = cls(plan, ctx)
+        ctx.faults = injector
+        if plan.throttles:
+            ctx.machine.nvm_throttle = injector.throttle
+            if ctx.heap.trace is not None:
+                for window in injector.throttle.windows:
+                    ctx.heap.trace.throttle(
+                        window.start_ns, window.duration_ns, window.factor
+                    )
+        if plan.nvm_balloon_fraction > 0.0:
+            injector._inflate_balloon()
+        return injector
+
+    def _inflate_balloon(self) -> None:
+        """Pre-fill the NVM old space with a rooted, unreclaimable
+        balloon so tag-driven placement must walk the degradation
+        ladder (NVM→DRAM fallback → spill → abort)."""
+        heap = self.ctx.heap
+        nvm_spaces = [
+            s for s in heap.old_spaces if s.device is DeviceKind.NVM
+        ]
+        if not nvm_spaces:
+            return  # dram-only / chunk-interleaved: nothing to exhaust
+        for space in nvm_spaces:
+            size = int(space.free * self.plan.nvm_balloon_fraction)
+            if size <= 0:
+                continue
+            balloon = HeapObject(ObjKind.CONTROL, size, rdd_id=None)
+            if not space.place(balloon):
+                continue  # free shrank between sizing and placing
+            heap.add_root(balloon)
+            heap.pinned_old_bytes += size
+            self.balloon_bytes += size
+            self._balloon = balloon
+            if heap.trace is not None:
+                heap.trace.alloc(balloon)
+
+    # ------------------------------------------------------------------
+    # boundaries and kills
+    # ------------------------------------------------------------------
+
+    def stage_boundary(self, dep) -> None:
+        """A shuffle map stage just completed (its files are written)."""
+        self._last_shuffle_dep = dep
+        self._cross_boundary()
+
+    def action_boundary(self, rdd) -> None:
+        """An action is about to execute its final stage."""
+        self._cross_boundary()
+
+    def _cross_boundary(self) -> None:
+        self.boundaries_seen += 1
+        here = self.boundaries_seen
+        due = [k for k in self._unfired if k.at_boundary == here]
+        for kill in due:
+            self._unfired.remove(kill)
+            self._fire(kill)
+
+    def _fire(self, kill: KillSpec) -> None:
+        if kill.kind == "shuffle":
+            fired = self._fire_shuffle_kill(kill)
+        else:
+            fired = self._fire_block_kill(kill)
+        if fired:
+            self.kills_fired += 1
+        else:
+            self.kills_noop += 1
+
+    def _fire_shuffle_kill(self, kill: KillSpec) -> bool:
+        """Destroy one reduce partition of the most recent shuffle."""
+        dep = self._last_shuffle_dep
+        if dep is None:
+            return False
+        n_out = dep.partitioner.num_partitions
+        pidx = kill.partition % n_out
+        self.ctx.shuffles.invalidate(dep.shuffle_id, pidx)
+        return True
+
+    def _fire_block_kill(self, kill: KillSpec) -> bool:
+        """Destroy one persisted in-memory block (deterministic pick)."""
+        manager = self.ctx.block_manager
+        candidates = [b for b in manager.blocks() if not b.on_disk]
+        if kill.rdd_name is not None:
+            candidates = [
+                b
+                for b in candidates
+                if self._rdd_name(b.rdd_id) == kill.rdd_name
+            ]
+        if not candidates:
+            return False
+        victim = min(candidates, key=lambda b: b.rdd_id)
+        if manager.kill(victim.rdd_id) is None:
+            return False
+        self._killed_blocks.add(victim.rdd_id)
+        return True
+
+    def _rdd_name(self, rdd_id: int) -> Optional[str]:
+        rdd = self.ctx._rdds.get(rdd_id)
+        return rdd.name if rdd is not None else None
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def ensure_shuffle_partition(self, scheduler, dep, pidx: int) -> None:
+        """Recover a lost reduce partition before it is read: force the
+        map stage to re-run through lineage (every map task re-executes
+        and re-materialises through the tagged heap), bounded by the
+        plan's retry budget — a kill can re-fire during recovery."""
+        shuffles = self.ctx.shuffles
+        attempts = 0
+        while shuffles.is_lost(dep.shuffle_id, pidx):
+            attempts += 1
+            if attempts > self.plan.max_recovery_attempts:
+                raise FaultError(
+                    f"shuffle {dep.shuffle_id} partition {pidx} still lost "
+                    f"after {self.plan.max_recovery_attempts} recovery "
+                    "attempts"
+                )
+            with self._recovery_window():
+                scheduler._run_shuffle_map(dep, force=True)
+            self.partitions_recomputed += dep.parent.num_partitions
+            if self.ctx.heap.trace is not None:
+                self.ctx.heap.trace.recompute(
+                    None,
+                    shuffles.serialized_bytes(dep.shuffle_id, pidx),
+                    f"shuffle:{shuffles.ordinal(dep.shuffle_id)}:{pidx}",
+                )
+        self.recovery_attempts_max = max(self.recovery_attempts_max, attempts)
+
+    def materialize_persisted(self, scheduler, rdd) -> None:
+        """Materialise a persisted RDD, measuring the run as recovery
+        when an injected kill destroyed its block (the recomputed
+        objects re-enter eden and re-promote — residency profiles show
+        the second life)."""
+        if rdd.id not in self._killed_blocks:
+            scheduler._materialize_persisted(rdd)
+            return
+        self._killed_blocks.discard(rdd.id)
+        with self._recovery_window():
+            scheduler._materialize_persisted(rdd)
+        self.partitions_recomputed += rdd.num_partitions
+        self.recovery_attempts_max = max(self.recovery_attempts_max, 1)
+        if self.ctx.heap.trace is not None:
+            block = self.ctx.block_manager.get(rdd.id)
+            self.ctx.heap.trace.recompute(
+                rdd.id,
+                block.data_bytes if block is not None else 0.0,
+                "block",
+            )
+
+    def _recovery_window(self):
+        """Context manager accumulating the simulated time and GC work
+        spent inside one recovery."""
+        return _RecoveryWindow(self)
+
+    # ------------------------------------------------------------------
+    # report
+    # ------------------------------------------------------------------
+
+    def report(self) -> FaultReport:
+        """The measured outcome (see :class:`FaultReport`)."""
+        heap = self.ctx.heap
+        return FaultReport(
+            boundaries_seen=self.boundaries_seen,
+            kills_planned=len(self.plan.kills),
+            kills_fired=self.kills_fired,
+            kills_noop=self.kills_noop,
+            partitions_recomputed=self.partitions_recomputed,
+            recompute_s=self.recompute_ns / 1e9,
+            recovery_gc_pauses=self.recovery_gc_pauses,
+            recovery_gc_s=self.recovery_gc_ns / 1e9,
+            recovery_attempts_max=self.recovery_attempts_max,
+            fallback_events=heap.fallback_count,
+            fallback_bytes=heap.fallback_bytes,
+            balloon_bytes=self.balloon_bytes,
+            throttle_windows=len(self.throttle.windows),
+            throttled_batches=self.throttle.throttled_batches,
+            throttle_extra_s=self.throttle.extra_ns / 1e9,
+        )
+
+
+class _RecoveryWindow:
+    """Measures one recovery: simulated-clock delta plus the GC pauses
+    that started inside it."""
+
+    def __init__(self, injector: FaultInjector) -> None:
+        self.injector = injector
+
+    def __enter__(self) -> "_RecoveryWindow":
+        ctx = self.injector.ctx
+        stats = ctx.collector.stats
+        self._start_ns = ctx.machine.clock.now_ns
+        self._pauses_before = len(stats.pauses)
+        self._gc_ns_before = stats.total_gc_ns
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        ctx = self.injector.ctx
+        stats = ctx.collector.stats
+        self.injector.recompute_ns += ctx.machine.clock.now_ns - self._start_ns
+        self.injector.recovery_gc_pauses += (
+            len(stats.pauses) - self._pauses_before
+        )
+        self.injector.recovery_gc_ns += stats.total_gc_ns - self._gc_ns_before

@@ -44,6 +44,7 @@ from typing import (
 
 import repro
 from repro.config import SystemConfig
+from repro.faults import FaultPlan
 from repro.harness.experiment import ExperimentResult, run_experiment
 
 #: Signature of the progress callback: ``fn(event)``.
@@ -83,6 +84,10 @@ class ExperimentPoint:
             (e.g. ``{"iterations": 3}``).
         trace: record the heap event stream (see :mod:`repro.trace`) and
             carry it on the result as ``trace_events``.
+        faults: inject this :class:`~repro.faults.plan.FaultPlan` and
+            carry the measured report on the result as
+            ``fault_report``.  Part of the fingerprint, so faulted and
+            fault-free runs never share a cache entry.
     """
 
     workload: str
@@ -90,6 +95,7 @@ class ExperimentPoint:
     scale: float = 1.0
     workload_kwargs: Dict[str, Any] = field(default_factory=dict)
     trace: bool = False
+    faults: Optional[FaultPlan] = None
 
     @property
     def label(self) -> str:
@@ -106,6 +112,7 @@ class ExperimentPoint:
         payload = {
             "code": code_version(),
             "config": self.config.to_dict(),
+            "faults": self.faults.to_dict() if self.faults is not None else None,
             "scale": self.scale,
             "trace": self.trace,
             "workload": self.workload,
@@ -211,6 +218,7 @@ def _execute_point(
         scale=point.scale,
         workload_kwargs=point.workload_kwargs or None,
         trace=point.trace,
+        faults=point.faults,
     )
     stripped = result.without_runtime_handles(keep_analysis=keep_analysis)
     return stripped, time.perf_counter() - started

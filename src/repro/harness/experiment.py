@@ -8,6 +8,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.config import DeviceKind, PolicyName, SystemConfig
 from repro.core.static_analysis import StaticAnalysis, analyze_program
+from repro.faults import FaultInjector, FaultPlan, FaultReport
 from repro.memory.machine import Machine
 from repro.spark.context import SparkContext
 from repro.spark.costmodel import MutatorCosts
@@ -42,6 +43,10 @@ class ExperimentResult:
         trace_events: the recorded heap event stream when ``trace`` was
             set (plain picklable dataclasses, preserved across process
             boundaries).
+        fault_report: the measured fault outcome when a
+            :class:`~repro.faults.plan.FaultPlan` was injected
+            (recomputation cost, recovery GC work, fallback bytes,
+            throttle time).
     """
 
     workload: str
@@ -65,6 +70,7 @@ class ExperimentResult:
     analysis: Optional[StaticAnalysis] = None
     context: Optional[SparkContext] = None
     trace_events: Optional[List[TraceEvent]] = None
+    fault_report: Optional[FaultReport] = None
 
     def without_runtime_handles(
         self, keep_analysis: bool = True
@@ -93,6 +99,7 @@ def run_experiment(
     bandwidth_window_ns: float = 1e9,
     keep_context: bool = False,
     trace: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> ExperimentResult:
     """Run one workload under one configuration.
 
@@ -108,12 +115,21 @@ def run_experiment(
             needed for bandwidth traces and heap inspection).
         trace: record the heap event stream (see :mod:`repro.trace`) and
             attach it to the result as ``trace_events``.
+        faults: inject this :class:`~repro.faults.plan.FaultPlan` (see
+            :mod:`repro.faults`); the measured
+            :class:`~repro.faults.report.FaultReport` rides on the
+            result as ``fault_report``.
     """
     spec = build_workload(workload, scale=scale, **(workload_kwargs or {}))
     ctx = SparkContext.create(
         config, costs=costs, bandwidth_window_ns=bandwidth_window_ns
     )
     session = TraceSession.attach_to_context(ctx) if trace else None
+    # The injector attaches after tracing so balloon allocations and
+    # throttle-window announcements reach the event stream.
+    injector = (
+        FaultInjector.attach(faults, ctx) if faults is not None else None
+    )
     analysis: Optional[StaticAnalysis] = None
     tags: Dict[str, Any] = {}
     if ctx.panthera_enabled:
@@ -123,6 +139,8 @@ def run_experiment(
     result = _collect(spec.name, config, ctx, action_results, analysis, keep_context)
     if session is not None:
         result.trace_events = session.events
+    if injector is not None:
+        result.fault_report = injector.report()
     return result
 
 

@@ -69,6 +69,15 @@ class ManagedHeap:
         #: the GCs publish placement events to (None = tracing off; every
         #: emission site is guarded so the disabled cost is one check).
         self.trace = None
+        #: off-intended old-gen placements (the graceful-degradation
+        #: ladder: an NVM-tagged object that could not fit its intended
+        #: space landed in another instead of aborting) and their bytes.
+        self.fallback_count = 0
+        self.fallback_bytes = 0.0
+        #: old-gen bytes pinned by unreclaimable control objects (the
+        #: fault injector's NVM-exhaustion balloon); capacity planners
+        #: (block-manager eviction) must not count them as usable.
+        self.pinned_old_bytes = 0.0
 
     # -- space queries -----------------------------------------------------
 
@@ -224,6 +233,11 @@ class ManagedHeap:
                 obj.padded = align is not None
                 if obj.is_array:
                     self.card_table.register(obj)
+                if candidate is not space:
+                    self.fallback_count += 1
+                    self.fallback_bytes += obj.size
+                    if self.trace is not None:
+                        self.trace.fallback(obj, space.name)
                 return True
         return False
 

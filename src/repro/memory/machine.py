@@ -117,6 +117,11 @@ class Machine:
         self._energy = EnergyMeter(
             self.devices, static_factor=config.static_energy_factor
         )
+        #: optional NVM throttle schedule (duck-typed: must provide
+        #: ``apply(start_ns, device_ns) -> float``); installed by
+        #: :class:`~repro.faults.injector.FaultInjector` to model the
+        #: NUMA emulator's transient thermal bandwidth collapse.
+        self.nvm_throttle = None
 
     # -- cost charging ---------------------------------------------------
 
@@ -148,17 +153,17 @@ class Machine:
             if t.is_empty:
                 continue
             device = self.devices[kind]
-            duration = max(
-                duration,
-                device.batch_ns(
-                    read_bytes=t.read_bytes,
-                    write_bytes=t.write_bytes,
-                    random_reads=t.random_reads,
-                    random_writes=t.random_writes,
-                    threads=threads,
-                    mlp=effective_mlp,
-                ),
+            device_ns = device.batch_ns(
+                read_bytes=t.read_bytes,
+                write_bytes=t.write_bytes,
+                random_reads=t.random_reads,
+                random_writes=t.random_writes,
+                threads=threads,
+                mlp=effective_mlp,
             )
+            if kind is DeviceKind.NVM and self.nvm_throttle is not None:
+                device_ns = self.nvm_throttle.apply(start_ns, device_ns)
+            duration = max(duration, device_ns)
         for kind, t in traffic.items():
             if t.is_empty:
                 continue

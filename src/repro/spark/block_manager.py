@@ -42,6 +42,8 @@ class BlockManager:
         #: rdd_id -> records retained on "disk" after a spill
         self.spilled_count = 0
         self.dropped_count = 0
+        #: blocks destroyed by injected executor kills (not pressure)
+        self.killed_count = 0
 
     # -- lookup ---------------------------------------------------------------
 
@@ -107,7 +109,7 @@ class BlockManager:
             extra_live: live old-generation bytes the block registry
                 cannot see (active transient ShuffledRDD blocks).
         """
-        capacity = self.heap.old_capacity_bytes()
+        capacity = self.heap.old_capacity_bytes() - self.heap.pinned_old_bytes
         headroom = max(
             capacity * self.HEADROOM_FRACTION,
             float(self.heap.config.nursery_bytes),
@@ -119,7 +121,11 @@ class BlockManager:
                 break
             self._evict(victim)
             evicted_any = True
-        needs_room = self.heap.old_used_bytes() + nbytes + headroom > capacity
+        needs_room = (
+            self.heap.old_used_bytes() - self.heap.pinned_old_bytes
+            + nbytes + headroom
+            > capacity
+        )
         if evicted_any or needs_room:
             collector.collect_major()
 
@@ -160,6 +166,27 @@ class BlockManager:
         self.spilled_count += 1
         if self.heap.trace is not None:
             self.heap.trace.block_event("spill", block.rdd_id, block.data_bytes)
+
+    def kill(self, rdd_id: int) -> Optional[MaterializedBlock]:
+        """Destroy an in-memory block as if its executor died (fault
+        injection): release its heap objects and forget it, so the next
+        access recomputes it through lineage.  Unlike :meth:`_drop`
+        this is not a pressure event — ``dropped_count`` stays put and
+        ``killed_count`` is bumped instead.
+
+        Returns:
+            The destroyed block, or None if the RDD has no in-memory
+            block to kill.
+        """
+        block = self._blocks.get(rdd_id)
+        if block is None or block.on_disk:
+            return None
+        self._release_heap_objects(block)
+        del self._blocks[rdd_id]
+        self.killed_count += 1
+        if self.heap.trace is not None:
+            self.heap.trace.block_event("drop", block.rdd_id, block.data_bytes)
+        return block
 
     def _drop(self, block: MaterializedBlock) -> None:
         """Drop a MEMORY_ONLY block entirely; lineage will recompute it."""

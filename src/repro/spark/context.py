@@ -53,6 +53,10 @@ class SparkContext:
         self.runtime = runtime
         self.shuffles = ShuffleManager()
         self.block_manager = BlockManager(heap, machine, self.costs)
+        #: optional :class:`~repro.faults.injector.FaultInjector`; the
+        #: scheduler consults it at stage/action boundaries (None = no
+        #: fault injection, one ``is None`` check per boundary).
+        self.faults = None
         self.materializer = Materializer(heap, machine, self.costs, runtime)
         self.scheduler = Scheduler(self)
         self._rdd_ids = itertools.count(1)

@@ -72,6 +72,8 @@ class Scheduler:
     def run_action(self, rdd: RDD, action: str):
         """Execute an action, driving all upstream stages."""
         self._ensure_upstream_shuffles(rdd)
+        if self.ctx.faults is not None:
+            self.ctx.faults.action_boundary(rdd)
         self._push_scope()
         try:
             if self.ctx.panthera_enabled and rdd.memory_tag is not None:
@@ -107,6 +109,8 @@ class Scheduler:
         """Compute partitions in order until ``n`` records are available
         (Spark's incremental ``take``)."""
         self._ensure_upstream_shuffles(rdd)
+        if self.ctx.faults is not None:
+            self.ctx.faults.action_boundary(rdd)
         self._push_scope()
         taken: List[Record] = []
         try:
@@ -148,9 +152,15 @@ class Scheduler:
         for dep in order:
             self._run_shuffle_map(dep)
 
-    def _run_shuffle_map(self, dep: ShuffleDependency) -> None:
-        """Execute one shuffle map stage and write its files."""
-        if self.ctx.shuffles.has(dep.shuffle_id):
+    def _run_shuffle_map(self, dep: ShuffleDependency, force: bool = False) -> None:
+        """Execute one shuffle map stage and write its files.
+
+        Args:
+            force: re-run the stage even though its output exists and
+                overwrite it — the lineage-recovery path after an
+                injected executor kill destroyed a reduce partition.
+        """
+        if self.ctx.shuffles.has(dep.shuffle_id) and not force:
             return
         self._ensure_upstream_shuffles(dep.parent)
         costs = self.ctx.costs
@@ -193,7 +203,12 @@ class Scheduler:
             self._pop_scope()
         bpr = dep.parent.bytes_per_record * dep.combine_factor
         sizes = [len(b) * bpr * costs.ser_factor for b in buckets]
-        self.ctx.shuffles.write(dep.shuffle_id, buckets, sizes)
+        self.ctx.shuffles.write(dep.shuffle_id, buckets, sizes, overwrite=force)
+        if self.ctx.faults is not None:
+            # A completed map stage is a stage boundary: pending kills
+            # scheduled for it fire now (possibly re-losing the output
+            # this very stage just wrote — recovery is bounded).
+            self.ctx.faults.stage_boundary(dep)
 
     # ------------------------------------------------------------------
     # record access (the task-side data plane)
@@ -208,7 +223,10 @@ class Scheduler:
         if transient is not None:
             return self._read_block(rdd, transient, pidx)
         if rdd.persist_level is not None:
-            self._materialize_persisted(rdd)
+            if self.ctx.faults is not None:
+                self.ctx.faults.materialize_persisted(self, rdd)
+            else:
+                self._materialize_persisted(rdd)
             block = self.ctx.block_manager.get(rdd.id)
             if block is None:
                 raise SparkError(f"persist of {rdd!r} produced no block")
@@ -395,6 +413,8 @@ class Scheduler:
         """Read one reduce partition from shuffle files on disk."""
         if not self.ctx.shuffles.has(dep.shuffle_id):
             self._run_shuffle_map(dep)
+        if self.ctx.faults is not None:
+            self.ctx.faults.ensure_shuffle_partition(self, dep, pidx)
         records = self.ctx.shuffles.read(dep.shuffle_id, pidx)
         costs = self.ctx.costs
         threads = self.ctx.config.mutator_threads

@@ -9,7 +9,7 @@ recomputation of an iterative job linear instead of exponential.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Set
 
 from repro.errors import SparkError
 from repro.spark.partition import Record
@@ -23,6 +23,14 @@ class ShuffleManager:
         self._outputs: Dict[int, List[List[Record]]] = {}
         #: shuffle id -> serialised bytes per reduce partition
         self._sizes: Dict[int, List[float]] = {}
+        #: shuffle id -> reduce partitions lost to an injected executor
+        #: kill (their records are gone until the map stage re-runs)
+        self._lost: Dict[int, Set[int]] = {}
+        #: shuffle id -> dense first-write ordinal.  Raw shuffle ids come
+        #: from a process-global counter, so they depend on how many
+        #: experiments the process ran before; ordinals are a pure
+        #: function of the run (the basis of trace byte-identity).
+        self._ordinals: Dict[int, int] = {}
 
     def has(self, shuffle_id: int) -> bool:
         """Whether this shuffle's map stage already ran."""
@@ -33,17 +41,58 @@ class ShuffleManager:
         shuffle_id: int,
         buckets: List[List[Record]],
         serialized_bytes: List[float],
+        overwrite: bool = False,
     ) -> None:
-        """Store one shuffle's complete map output."""
-        if shuffle_id in self._outputs:
+        """Store one shuffle's complete map output.
+
+        Args:
+            overwrite: allow replacing an existing output — the
+                fault-recovery path, where a forced map-stage re-run
+                restores reduce partitions an executor kill destroyed.
+                A rewrite clears the shuffle's lost marks.
+        """
+        if shuffle_id in self._outputs and not overwrite:
             raise SparkError(f"shuffle {shuffle_id} written twice")
         if len(buckets) != len(serialized_bytes):
             raise SparkError("bucket/size length mismatch")
         self._outputs[shuffle_id] = buckets
         self._sizes[shuffle_id] = serialized_bytes
+        self._lost.pop(shuffle_id, None)
+        self._ordinals.setdefault(shuffle_id, len(self._ordinals))
+
+    def ordinal(self, shuffle_id: int) -> int:
+        """Dense, run-local index of a written shuffle (0-based, in
+        first-write order); safe to embed in traces and reports."""
+        return self._ordinals[shuffle_id]
+
+    def invalidate(self, shuffle_id: int, pidx: int) -> None:
+        """Lose one reduce partition (an injected executor kill): its
+        records are destroyed and reads fail until the map stage
+        re-runs via :meth:`write` with ``overwrite=True``."""
+        if shuffle_id not in self._outputs:
+            raise SparkError(f"shuffle {shuffle_id} has not been written")
+        if not 0 <= pidx < len(self._outputs[shuffle_id]):
+            raise SparkError(
+                f"shuffle {shuffle_id} has no reduce partition {pidx}"
+            )
+        self._outputs[shuffle_id][pidx] = []
+        self._lost.setdefault(shuffle_id, set()).add(pidx)
+
+    def is_lost(self, shuffle_id: int, pidx: int) -> bool:
+        """Whether a reduce partition is currently lost to a kill."""
+        return pidx in self._lost.get(shuffle_id, ())
+
+    def lost_partitions(self, shuffle_id: int) -> Set[int]:
+        """The currently-lost reduce partitions of one shuffle."""
+        return set(self._lost.get(shuffle_id, ()))
 
     def read(self, shuffle_id: int, pidx: int) -> List[Record]:
         """Fetch one reduce partition's records."""
+        if self.is_lost(shuffle_id, pidx):
+            raise SparkError(
+                f"shuffle {shuffle_id} partition {pidx} was lost and has "
+                "not been recomputed"
+            )
         try:
             return list(self._outputs[shuffle_id][pidx])
         except KeyError:

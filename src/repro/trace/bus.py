@@ -20,9 +20,12 @@ from typing import Callable, Dict, List, Optional
 
 from repro.trace.events import (
     ALLOC,
+    FALLBACK,
     FREE,
     GC_PAUSE,
+    RECOMPUTE,
     TAG_RECOGNIZED,
+    THROTTLE,
     TraceEvent,
 )
 
@@ -135,6 +138,39 @@ class TraceBus:
         unpersist)."""
         self.publish(
             TraceEvent(kind, self.clock.now_ns, size=nbytes, rdd_id=rdd_id)
+        )
+
+    def fallback(self, obj, intended_space: str) -> None:
+        """Publish a FALLBACK event: ``obj`` just landed somewhere other
+        than the space the policy intended (``obj.space`` is where it
+        actually went)."""
+        fields = self._object_fields(obj)
+        fields["detail"] = f"intended={intended_space}"
+        self.publish(TraceEvent(FALLBACK, self.clock.now_ns, **fields))
+
+    def throttle(self, start_ns: float, duration_ns: float, factor: float) -> None:
+        """Publish one scheduled NVM bandwidth-throttle window (stamped
+        with the window *start*, like GC pauses)."""
+        self.publish(
+            TraceEvent(
+                THROTTLE,
+                start_ns,
+                duration_ns=duration_ns,
+                detail=f"factor={factor:g}",
+            )
+        )
+
+    def recompute(self, rdd_id: Optional[int], nbytes: float, detail: str) -> None:
+        """Publish a RECOMPUTE event: lost state was rebuilt through
+        lineage (``detail`` says what was lost)."""
+        self.publish(
+            TraceEvent(
+                RECOMPUTE,
+                self.clock.now_ns,
+                size=nbytes,
+                rdd_id=rdd_id,
+                detail=detail,
+            )
         )
 
     def tag_recognized(self, tag, size: int) -> None:

@@ -38,6 +38,15 @@ DROP = "drop"
 UNPERSIST = "unpersist"
 #: The §4.2.1 tag-wait state recognised an RDD backbone array.
 TAG_RECOGNIZED = "tag_recognized"
+#: An old-gen placement landed off its policy-intended space (the
+#: NVM→DRAM degradation ladder); ``detail`` names the intended space.
+FALLBACK = "fallback"
+#: One scheduled NVM bandwidth-throttle window (``t_ns`` is the window
+#: start, ``duration_ns`` its length, ``detail`` the slowdown factor).
+THROTTLE = "throttle"
+#: A killed partition/block was recomputed through lineage; ``detail``
+#: says what was lost (``shuffle:<id>:<pidx>`` or ``block``).
+RECOMPUTE = "recompute"
 
 #: Event kinds that move a live object between two spaces.
 MOVE_KINDS = frozenset(
@@ -45,8 +54,12 @@ MOVE_KINDS = frozenset(
 )
 #: Event kinds the replay oracle interprets (placement-state changes).
 REPLAYED_KINDS = frozenset({ALLOC, FREE, GC_PAUSE} | MOVE_KINDS)
-#: Informational kinds the replay oracle skips.
-INFORMATIONAL_KINDS = frozenset({SPILL, DROP, UNPERSIST, TAG_RECOGNIZED})
+#: Informational kinds the replay oracle skips.  FALLBACK annotates a
+#: placement whose ALLOC/PROMOTE event carries the real byte movement;
+#: THROTTLE and RECOMPUTE describe time, not placement.
+INFORMATIONAL_KINDS = frozenset(
+    {SPILL, DROP, UNPERSIST, TAG_RECOGNIZED, FALLBACK, THROTTLE, RECOMPUTE}
+)
 #: The dynamic-migration kinds (always cross the DRAM/NVM boundary).
 MIGRATE_KINDS = frozenset({MIGRATE_DRAM_TO_NVM, MIGRATE_NVM_TO_DRAM})
 
@@ -70,7 +83,11 @@ class TraceEvent:
         tag: the object's memory tag ("dram"/"nvm") if set.
         rdd_id: owning RDD id, if the object belongs to one.
         pause_kind: "minor" or "major" for GC_PAUSE events.
-        duration_ns: pause duration for GC_PAUSE events.
+        duration_ns: pause duration for GC_PAUSE events (also the
+            window length for THROTTLE events).
+        detail: free-form annotation for fault events (intended space
+            for FALLBACK, slowdown factor for THROTTLE, what was lost
+            for RECOMPUTE).
     """
 
     kind: str
@@ -85,6 +102,7 @@ class TraceEvent:
     rdd_id: Optional[int] = None
     pause_kind: Optional[str] = None
     duration_ns: float = 0.0
+    detail: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-safe dict with None/zero-default fields omitted."""
