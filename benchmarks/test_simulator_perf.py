@@ -3,90 +3,38 @@
 These are conventional pytest-benchmark measurements (multiple rounds) of
 the hot paths: allocation, minor/major GC, static analysis and a full
 small experiment — useful for tracking simulator performance regressions.
+
+The benchmark bodies live in :mod:`repro.bench` and are shared with the
+``repro bench`` CLI harness, so the interactive pytest table and the
+JSON regression gate measure exactly the same setups.
 """
 
-from repro.config import MiB, PolicyName
-from repro.core.static_analysis import analyze_program
+from repro.bench import (
+    make_stack,  # noqa: F401 - re-exported for external users of this module
+    setup_ephemeral_churn,
+    setup_major_gc,
+    setup_minor_gc,
+    setup_static_analysis,
+)
+from repro.config import PolicyName
 from repro.harness.configs import paper_config
 from repro.harness.experiment import run_experiment
-from repro.heap.object_model import ObjKind
-from repro.workloads.pagerank import build_pagerank
-
-from repro.config import SystemConfig
-from repro.core.monitor import AccessMonitor
-from repro.gc.collector import Collector
-from repro.gc.policies import make_policy
-from repro.heap.layout import HEAP_BASE, young_span_bytes
-from repro.heap.managed_heap import ManagedHeap
-from repro.memory.machine import Machine
-
-
-class _Stack:
-    """A minimal machine + heap + collector bundle for microbenchmarks."""
-
-    def __init__(self, policy: PolicyName) -> None:
-        heap = 48 * MiB
-        dram = heap if policy is PolicyName.DRAM_ONLY else heap // 3
-        config = SystemConfig(
-            heap_bytes=heap,
-            dram_bytes=dram,
-            nvm_bytes=heap - dram,
-            policy=policy,
-            interleave_chunk_bytes=MiB,
-            large_array_threshold=64 * 1024,
-        )
-        self.machine = Machine(config)
-        self.policy = make_policy(config)
-        old = self.policy.build_old_spaces(HEAP_BASE + young_span_bytes(config))
-        self.heap = ManagedHeap(
-            config, self.machine, old, card_padding=self.policy.card_padding
-        )
-        self.collector = Collector(
-            self.heap, self.machine, self.policy, monitor=AccessMonitor()
-        )
-
-
-def make_stack(policy: PolicyName) -> _Stack:
-    return _Stack(policy)
 
 
 def test_perf_ephemeral_allocation(benchmark):
-    stack = make_stack(PolicyName.PANTHERA)
-
-    def churn():
-        for _ in range(64):
-            stack.heap.allocate_ephemeral(256 * 1024)
-
-    benchmark(churn)
+    benchmark(setup_ephemeral_churn())
 
 
 def test_perf_minor_gc(benchmark):
-    stack = make_stack(PolicyName.PANTHERA)
-    for i in range(32):
-        obj = stack.heap.new_object(ObjKind.DATA, 64 * 1024)
-        stack.heap.add_root(obj)
-
-    def collect():
-        stack.heap.allocate_ephemeral(MiB)
-        stack.collector.collect_minor()
-
-    benchmark(collect)
+    benchmark(setup_minor_gc())
 
 
 def test_perf_major_gc(benchmark):
-    stack = make_stack(PolicyName.PANTHERA)
-    for i in range(16):
-        array = stack.heap.allocate_rdd_array(256 * 1024, rdd_id=i)
-        if i % 2 == 0:
-            stack.heap.add_root(array)
-
-    benchmark(stack.collector.collect_major)
+    benchmark(setup_major_gc())
 
 
 def test_perf_static_analysis(benchmark):
-    spec = build_pagerank(scale=0.02, iterations=10)
-
-    benchmark(analyze_program, spec.program)
+    benchmark(setup_static_analysis())
 
 
 def test_perf_full_pagerank_experiment(benchmark):

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Compare two ``repro bench`` JSON documents and gate on regressions.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.2]
+        [--advisory]
+
+Exits 1 when any benchmark's metric (per-iteration time for micros, wall
+time for experiments) exceeds the baseline by more than the tolerance —
+unless ``--advisory`` is given, in which case regressions are reported
+but the exit code stays 0.  Wall-clock baselines are machine-specific:
+CI gates hard only on main (same runner class), advisory on PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench import compare_documents  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional slowdown (default 0.20)",
+    )
+    parser.add_argument(
+        "--advisory",
+        action="store_true",
+        help="report regressions without failing",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+
+    report = compare_documents(baseline, current, tolerance=args.tolerance)
+    for line in report.lines:
+        print(line)
+    if report.regressions and not args.advisory:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,330 @@
+"""``repro bench``: the simulator's wall-clock benchmark harness.
+
+The pytest-benchmark suite under ``benchmarks/`` is great for interactive
+work but awkward as a regression gate: its output is a terminal table and
+its statistics vary with plugin versions.  This module runs the same
+stack programmatically and writes one machine-readable JSON document —
+``BENCH_<date>.json`` — with, per benchmark, the best-round wall time and,
+per experiment, wall seconds, simulated seconds and the
+simulated-seconds-per-wall-second throughput.  Peak RSS for the whole run
+rides along.  ``scripts/bench_compare.py`` diffs two such documents and
+fails on regressions beyond a tolerance.
+
+Timing protocol: each microbenchmark runs ``rounds`` rounds of ``inner``
+back-to-back calls and reports the *best* round (minimum is the standard
+estimator for "how fast can this go" under scheduler noise).  The working
+stack is rebuilt per round so GC state cannot accumulate across rounds.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import platform
+import resource
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.config import MiB, PolicyName, SystemConfig
+from repro.core.monitor import AccessMonitor
+from repro.core.static_analysis import analyze_program
+from repro.gc.collector import Collector
+from repro.gc.policies import make_policy
+from repro.harness.configs import paper_config
+from repro.harness.experiment import run_experiment
+from repro.heap.layout import HEAP_BASE, young_span_bytes
+from repro.heap.managed_heap import ManagedHeap
+from repro.heap.object_model import ObjKind
+from repro.memory.machine import Machine
+from repro.workloads.pagerank import build_pagerank
+
+SCHEMA_VERSION = 1
+
+
+class BenchStack:
+    """A minimal machine + heap + collector bundle for microbenchmarks.
+
+    Shared with ``benchmarks/test_simulator_perf.py`` so the pytest suite
+    and ``repro bench`` measure exactly the same setup.
+    """
+
+    def __init__(self, policy: PolicyName) -> None:
+        heap = 48 * MiB
+        dram = heap if policy is PolicyName.DRAM_ONLY else heap // 3
+        config = SystemConfig(
+            heap_bytes=heap,
+            dram_bytes=dram,
+            nvm_bytes=heap - dram,
+            policy=policy,
+            interleave_chunk_bytes=MiB,
+            large_array_threshold=64 * 1024,
+        )
+        self.machine = Machine(config)
+        self.policy = make_policy(config)
+        old = self.policy.build_old_spaces(HEAP_BASE + young_span_bytes(config))
+        self.heap = ManagedHeap(
+            config, self.machine, old, card_padding=self.policy.card_padding
+        )
+        self.collector = Collector(
+            self.heap, self.machine, self.policy, monitor=AccessMonitor()
+        )
+
+
+def make_stack(policy: PolicyName) -> BenchStack:
+    """Build one microbenchmark stack (pytest suite entry point)."""
+    return BenchStack(policy)
+
+
+# -- microbenchmark bodies -------------------------------------------------
+#
+# Each setup returns a zero-argument callable; one call is one iteration.
+
+
+def setup_ephemeral_churn() -> Callable[[], None]:
+    """64 x 256 KiB short-lived allocations (drives minor-GC frequency)."""
+    stack = make_stack(PolicyName.PANTHERA)
+
+    def churn() -> None:
+        for _ in range(64):
+            stack.heap.allocate_ephemeral(256 * 1024)
+
+    return churn
+
+
+def setup_minor_gc() -> Callable[[], None]:
+    """One scavenge over 32 rooted 64 KiB objects plus 1 MiB of churn."""
+    stack = make_stack(PolicyName.PANTHERA)
+    for _ in range(32):
+        obj = stack.heap.new_object(ObjKind.DATA, 64 * 1024)
+        stack.heap.add_root(obj)
+
+    def collect() -> None:
+        stack.heap.allocate_ephemeral(MiB)
+        stack.collector.collect_minor()
+
+    return collect
+
+
+def setup_major_gc() -> Callable[[], None]:
+    """One full GC over 16 x 256 KiB RDD arrays (half rooted)."""
+    stack = make_stack(PolicyName.PANTHERA)
+    for i in range(16):
+        array = stack.heap.allocate_rdd_array(256 * 1024, rdd_id=i)
+        if i % 2 == 0:
+            stack.heap.add_root(array)
+
+    return stack.collector.collect_major
+
+
+def setup_static_analysis() -> Callable[[], None]:
+    """The §3 static analysis over a small PageRank program."""
+    spec = build_pagerank(scale=0.02, iterations=10)
+
+    def analyze() -> None:
+        analyze_program(spec.program)
+
+    return analyze
+
+
+#: name -> (setup, inner iterations per round)
+MICRO_BENCHES: Dict[str, Any] = {
+    "micro.ephemeral_churn": (setup_ephemeral_churn, 20),
+    "micro.minor_gc": (setup_minor_gc, 20),
+    "micro.major_gc": (setup_major_gc, 50),
+    "micro.static_analysis": (setup_static_analysis, 20),
+}
+
+#: (workload, policy) cells measured as end-to-end experiments.
+EXPERIMENT_CELLS = [
+    ("PR", PolicyName.PANTHERA),
+    ("PR", PolicyName.DRAM_ONLY),
+    ("CC", PolicyName.PANTHERA),
+]
+QUICK_EXPERIMENT_CELLS = [("PR", PolicyName.PANTHERA)]
+EXPERIMENT_SCALE = 0.02
+EXPERIMENT_ITERATIONS = 3
+
+
+def run_micro_bench(
+    name: str,
+    setup: Callable[[], Callable[[], None]],
+    inner: int,
+    rounds: int,
+) -> Dict[str, Any]:
+    """Measure one microbenchmark; returns its result record."""
+    best_s = None
+    total_s = 0.0
+    for _ in range(rounds):
+        fn = setup()
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        round_s = time.perf_counter() - t0
+        total_s += round_s
+        if best_s is None or round_s < best_s:
+            best_s = round_s
+    return {
+        "name": name,
+        "kind": "micro",
+        "rounds": rounds,
+        "inner": inner,
+        "best_round_s": best_s,
+        "total_s": total_s,
+        "per_iter_us": best_s / inner * 1e6,
+    }
+
+
+def run_experiment_bench(workload: str, policy: PolicyName) -> Dict[str, Any]:
+    """Measure one end-to-end experiment cell; returns its record."""
+    config = paper_config(64, 1 / 3, policy, EXPERIMENT_SCALE)
+    t0 = time.perf_counter()
+    result = run_experiment(
+        workload,
+        config,
+        scale=EXPERIMENT_SCALE,
+        workload_kwargs={"iterations": EXPERIMENT_ITERATIONS},
+    )
+    wall_s = time.perf_counter() - t0
+    return {
+        "name": f"experiment.{workload}.{policy.value}",
+        "kind": "experiment",
+        "wall_s": wall_s,
+        "sim_s": result.elapsed_s,
+        "sim_per_wall": result.elapsed_s / wall_s if wall_s > 0 else 0.0,
+        "minor_gcs": result.minor_gcs,
+        "major_gcs": result.major_gcs,
+    }
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process, in KiB."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def run_bench_suite(
+    quick: bool = False,
+    rounds: Optional[int] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the full benchmark suite; returns the JSON-ready document."""
+    emit = log or (lambda _line: None)
+    rounds = rounds or (3 if quick else 5)
+    records: List[Dict[str, Any]] = []
+    for name, (setup, inner) in MICRO_BENCHES.items():
+        record = run_micro_bench(name, setup, inner, rounds)
+        records.append(record)
+        emit(
+            f"  {record['name']:28s} {record['per_iter_us']:9.1f} us/iter "
+            f"({rounds} rounds x {inner})"
+        )
+    cells = QUICK_EXPERIMENT_CELLS if quick else EXPERIMENT_CELLS
+    for workload, policy in cells:
+        record = run_experiment_bench(workload, policy)
+        records.append(record)
+        emit(
+            f"  {record['name']:28s} {record['wall_s']:9.2f} s wall, "
+            f"{record['sim_s']:.2f} s simulated "
+            f"({record['sim_per_wall']:.2f} sim-s/wall-s)"
+        )
+    return {
+        "schema": SCHEMA_VERSION,
+        "created": _dt.datetime.now(_dt.timezone.utc).isoformat(),
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "peak_rss_kb": peak_rss_kb(),
+        "benchmarks": records,
+    }
+
+
+def default_output_path() -> str:
+    """``BENCH_<date>.json`` in the current directory."""
+    return f"BENCH_{_dt.date.today().isoformat()}.json"
+
+
+def write_bench_report(document: Dict[str, Any], path: str) -> None:
+    """Write one suite document as stable, diff-friendly JSON."""
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# -- baseline comparison ---------------------------------------------------
+
+#: metric compared per benchmark kind (lower is better for both).
+_COMPARE_METRIC = {"micro": "per_iter_us", "experiment": "wall_s"}
+
+
+class CompareReport:
+    """Outcome of diffing two benchmark documents."""
+
+    __slots__ = ("lines", "regressions", "improvements")
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.regressions: List[str] = []
+        self.improvements: List[str] = []
+
+
+def compare_documents(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tolerance: float = 0.20,
+) -> CompareReport:
+    """Diff two suite documents benchmark-by-benchmark.
+
+    A benchmark regresses when its metric (per-iteration time for micros,
+    wall time for experiments) exceeds the baseline by more than
+    ``tolerance``.  Wall-clock baselines are machine-specific, so gate
+    hard only against a baseline produced on comparable hardware; CI
+    uses ``--advisory`` on pull requests for exactly that reason.
+    """
+    report = CompareReport()
+    base_by_name = {b["name"]: b for b in baseline.get("benchmarks", [])}
+    for record in current.get("benchmarks", []):
+        name = record["name"]
+        metric = _COMPARE_METRIC.get(record.get("kind", ""), None)
+        base = base_by_name.pop(name, None)
+        if metric is None or base is None or metric not in base:
+            report.lines.append(f"{name}: no baseline (skipped)")
+            continue
+        old = float(base[metric])
+        new = float(record[metric])
+        if old <= 0:
+            report.lines.append(f"{name}: unusable baseline (skipped)")
+            continue
+        ratio = new / old
+        delta = (ratio - 1.0) * 100.0
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "REGRESSION"
+            report.regressions.append(name)
+        elif ratio < 1.0 - tolerance:
+            verdict = "improved"
+            report.improvements.append(name)
+        report.lines.append(
+            f"{name}: {old:.4g} -> {new:.4g} {metric} "
+            f"({delta:+.1f}%) {verdict}"
+        )
+    for name in base_by_name:
+        report.lines.append(f"{name}: missing from current run")
+    if report.regressions:
+        report.lines.append(
+            f"{len(report.regressions)} regression(s) beyond "
+            f"{tolerance:.0%}: {', '.join(report.regressions)}"
+        )
+    else:
+        report.lines.append(f"no regressions beyond {tolerance:.0%}")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    """Standalone entry point (``python -m repro.bench``)."""
+    from repro.cli import main as cli_main
+
+    return cli_main(["bench"] + list(argv or sys.argv[1:]))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

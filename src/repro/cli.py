@@ -391,6 +391,34 @@ def cmd_matrix(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """``repro bench``: run the benchmark suite, write ``BENCH_<date>.json``."""
+    from repro import bench
+
+    mode = "quick" if args.quick else "full"
+    print(f"running the {mode} benchmark suite ...")
+    document = bench.run_bench_suite(
+        quick=args.quick, rounds=args.rounds, log=print
+    )
+    path = args.out or bench.default_output_path()
+    bench.write_bench_report(document, path)
+    print(f"  peak RSS: {document['peak_rss_kb']} KiB")
+    print(f"  wrote {path}")
+    if args.compare:
+        import json as _json
+
+        with open(args.compare) as fh:
+            baseline = _json.load(fh)
+        report = bench.compare_documents(
+            baseline, document, tolerance=args.tolerance
+        )
+        for line in report.lines:
+            print("  " + line)
+        if report.regressions and not args.advisory:
+            return 1
+    return 0
+
+
 def cmd_list(_args) -> int:
     """``repro list``: the Table 4 workloads."""
     for name in sorted(WORKLOADS):
@@ -567,6 +595,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(analyze_parser)
     analyze_parser.set_defaults(fn=cmd_analyze)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run the simulator benchmark suite, write BENCH_<date>.json",
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer rounds and experiment cells (CI smoke mode)",
+    )
+    bench_parser.add_argument(
+        "--rounds",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="rounds per microbenchmark (default: 5, or 3 with --quick)",
+    )
+    bench_parser.add_argument(
+        "--out", metavar="PATH", help="output path (default: BENCH_<date>.json)"
+    )
+    bench_parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="diff against a baseline BENCH_*.json after the run",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        metavar="FRAC",
+        help="allowed slowdown before --compare fails (default 0.20)",
+    )
+    bench_parser.add_argument(
+        "--advisory",
+        action="store_true",
+        help="report --compare regressions without failing",
+    )
+    bench_parser.set_defaults(fn=cmd_bench)
 
     list_parser = sub.add_parser("list", help="list the Table 4 workloads")
     list_parser.set_defaults(fn=cmd_list)

@@ -48,6 +48,14 @@ class DeviceKind(enum.Enum):
     NVM = "nvm"
     DISK = "disk"
 
+    # Members are singletons and Enum equality is identity, so the default
+    # identity hash is exact — and C-level, unlike Enum's Python-level
+    # ``hash(self._name_)``.  Device kinds key the hottest dicts in the
+    # simulator (traffic sets, bandwidth bins, charge accumulators); no
+    # code iterates a *set* of them, so ordering is unaffected (dicts
+    # iterate in insertion order regardless of hash).
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True)
 class DeviceSpec:

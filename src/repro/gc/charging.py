@@ -1,0 +1,138 @@
+"""Batched GC cost charging.
+
+The GC phases charge per-object costs (trace visits, card-scan streams,
+evacuation copies) to a :class:`~repro.memory.machine.TrafficSet`.  Doing
+that with one ``TrafficSet.add`` call per object is the single hottest
+path of the simulator: each call pays keyword marshalling, a dict
+``setdefault`` and four attribute updates for what is arithmetically just
+"+= a few integers".
+
+:class:`ChargeAccumulator` batches those increments into plain per-device
+``[read_bytes, write_bytes, random_reads, random_writes]`` lists and
+deposits them with *one* ``TrafficSet.add`` per device per phase.  The
+result is bit-identical to per-object depositing:
+
+* all increments are integers (object sizes, header bytes, access
+  counts), so the per-device sums are exact regardless of addition order;
+* devices are deposited in first-touch order, so the ``TrafficSet``'s
+  dict insertion order — which downstream float reductions iterate in —
+  matches the per-object path.
+
+``BATCHED_DEPOSITS`` is the escape hatch for A/B testing: setting it to
+False makes the accumulator flush after every charge, reproducing the
+historical per-object call pattern exactly.  The byte-identity regression
+test runs one traced + faulted experiment under both settings and
+compares trace JSONL, GC logs and action checksums byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import DeviceKind
+from repro.errors import GCError
+from repro.heap.object_model import HEADER_BYTES, HeapObject
+from repro.memory.machine import TrafficSet
+
+#: When True (the default), charges are deposited once per device per
+#: phase; when False, after every charge (the legacy call pattern).
+#: Outputs are byte-identical either way — this flag exists so tests can
+#: prove that.
+BATCHED_DEPOSITS = True
+
+
+class ChargeAccumulator:
+    """Accumulates one GC phase's per-device traffic, then deposits it
+    into the phase's :class:`~repro.memory.machine.TrafficSet`.
+
+    Args:
+        traffic: the phase batch to deposit into.
+        batched: deposit once per phase (True) or after every charge
+            (False).  Defaults to :data:`BATCHED_DEPOSITS`.
+    """
+
+    __slots__ = ("traffic", "_by_device", "_batched")
+
+    def __init__(self, traffic: TrafficSet, batched: Optional[bool] = None) -> None:
+        self.traffic = traffic
+        #: device -> [read_bytes, write_bytes, random_reads, random_writes],
+        #: in first-touch order (dicts preserve insertion order).
+        self._by_device: Dict[DeviceKind, List[int]] = {}
+        self._batched = BATCHED_DEPOSITS if batched is None else batched
+
+    def _entry(self, device: DeviceKind) -> List[int]:
+        entry = self._by_device.get(device)
+        if entry is None:
+            entry = self._by_device[device] = [0, 0, 0, 0]
+        return entry
+
+    # -- charge primitives ----------------------------------------------
+
+    def visit(self, obj: HeapObject) -> None:
+        """Tracing cost of visiting one object: a latency-bound read plus
+        its header bytes on the device it resides on."""
+        space = obj.space
+        if space is None or obj.addr is None:
+            raise GCError(f"tracing an unplaced object: {obj!r}")
+        device = space.device
+        if device is None:
+            device = space.chunk_map.device_of(obj.addr)
+        entry = self._entry(device)
+        entry[0] += HEADER_BYTES
+        entry[2] += 1
+        if not self._batched:
+            self.flush()
+
+    def stream_read(self, obj: HeapObject) -> None:
+        """Streamed read of an object's full payload (card scanning)."""
+        for device, nbytes in obj.space.object_traffic(obj):
+            self._entry(device)[0] += nbytes
+        if not self._batched:
+            self.flush()
+
+    def copy(self, src_pieces, obj: HeapObject, dst_space) -> int:
+        """Streamed copy of an object into ``dst_space``.
+
+        ``src_pieces`` is the per-device split of the object's *source*
+        location, captured before the move; the write lands on the device
+        under ``dst_space``'s bump pointer (charged before placement, as
+        the copying GC streams into its allocation cursor).
+        """
+        for device, nbytes in src_pieces:
+            self._entry(device)[0] += nbytes
+        dst_device = dst_space.device_of(min(dst_space.top, dst_space.end - 1))
+        self._entry(dst_device)[1] += obj.size
+        if not self._batched:
+            self.flush()
+        return obj.size
+
+    def read(self, device: DeviceKind, nbytes: int) -> None:
+        """Streamed read of ``nbytes`` on one device."""
+        self._entry(device)[0] += nbytes
+        if not self._batched:
+            self.flush()
+
+    def write(self, device: DeviceKind, nbytes: int) -> None:
+        """Streamed write of ``nbytes`` on one device."""
+        self._entry(device)[1] += nbytes
+        if not self._batched:
+            self.flush()
+
+    # -- deposit ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Deposit the accumulated charges into the phase batch (one
+        ``TrafficSet.add`` per device, in first-touch order) and clear."""
+        by_device = self._by_device
+        if not by_device:
+            return
+        add = self.traffic.add
+        for device, entry in by_device.items():
+            add(
+                device,
+                read_bytes=entry[0],
+                write_bytes=entry[1],
+                random_reads=entry[2],
+                random_writes=entry[3],
+            )
+        by_device.clear()

@@ -43,14 +43,35 @@ class Collector:
         heap.collector = self
 
     def _promotion_upper_bound(self) -> int:
-        """Worst-case bytes a scavenge could promote right now."""
-        survivable = sum(o.size for o in self.heap.eden.objects)
-        survivable += sum(o.size for o in self.heap.survivor_from.objects)
+        """Worst-case bytes a scavenge could promote right now.
+
+        Every survivable young object could tenure at once, and under
+        card padding (§4.2.3) each promoted *array* is additionally
+        padded so its allocation ends on a card boundary — up to
+        ``card_size - 1`` extra bytes per array.  Ignoring that padding
+        undercounts the guarantee on a near-full old generation and lets
+        a scavenge overflow mid-promotion.
+
+        O(1): the spaces maintain live-byte and array counters
+        incrementally.
+        """
+        eden = self.heap.eden
+        survivor = self.heap.survivor_from
+        survivable = eden._live_bytes + survivor._live_bytes
+        if self.heap.card_padding:
+            survivable += (eden._array_count + survivor._array_count) * (
+                self.config.card_size - 1
+            )
         return survivable
 
     def old_free_bytes(self) -> int:
         """Free bytes across all old spaces."""
-        return sum(s.free for s in self.heap.old_spaces)
+        # Checked before every scavenge; a plain loop over the two or
+        # three old spaces beats the genexpr + property indirection.
+        total = 0
+        for s in self.heap.old_spaces:
+            total += s.end - s.top
+        return total
 
     def collect_minor(self) -> None:
         """Run one minor collection, with the promotion guarantee."""

@@ -8,6 +8,12 @@ by the placement policy is applied: under Panthera, RDD arrays whose
 monitored call frequency says they are mis-placed move between the DRAM
 and NVM components (together with their reachable data objects); under
 Kingsguard-Writes, write-hot objects move into the DRAM region.
+
+Costs are accumulated through
+:class:`~repro.gc.charging.ChargeAccumulator` (one deposit per device per
+batch, bit-identical to per-object depositing), and the card table is
+only refreshed for arrays compaction actually moved — objects in the
+dense prefix keep their addresses, so their spans are already correct.
 """
 
 from __future__ import annotations
@@ -16,9 +22,10 @@ from typing import Set
 
 from repro.config import DeviceKind
 from repro.errors import GCError
+from repro.gc.charging import ChargeAccumulator
 from repro.heap.object_model import HeapObject
 from repro.memory.machine import TrafficSet
-from repro.gc.minor import _charge_trace, _gc_processing_ns, _propagate_tag
+from repro.gc.minor import _gc_processing_ns, _propagate_tag
 from repro.trace.events import (
     MIGRATE_DRAM_TO_NVM,
     MIGRATE_NVM_TO_DRAM,
@@ -40,9 +47,10 @@ def run_major_gc(collector) -> None:
     # as two serialized batches: moving starts only after the mark.
     mark_traffic = TrafficSet()
     move_traffic = TrafficSet()
-    traffic = mark_traffic
 
     # Phase 1: mark.  Full trace over both generations.
+    charges = ChargeAccumulator(mark_traffic)
+    visit = charges.visit
     visited: Set[HeapObject] = set()
     stack = list(heap.iter_roots())
     while stack:
@@ -50,24 +58,25 @@ def run_major_gc(collector) -> None:
         if obj in visited:
             continue
         visited.add(obj)
-        _charge_trace(traffic, obj)
+        visit(obj)
         for child in obj.refs:
             _propagate_tag(obj, child)
             if child not in visited:
                 stack.append(child)
+    charges.flush()
 
     # Phase 2: sweep the old generation.  The dead list is sorted only
     # when tracing, for a deterministic free-event order; the collection
     # itself is order-independent.
     trace = heap.trace
+    card_table = heap.card_table
     for space in heap.old_spaces:
         dead = [obj for obj in space.objects if obj not in visited]
         if trace is not None:
             dead.sort(key=lambda o: o.oid)
         for obj in dead:
-            space.objects.discard(obj)
-            if heap.card_table.is_registered(obj):
-                heap.card_table.unregister(obj)
+            space.discard(obj)
+            card_table.unregister(obj)
             obj.space = None
             obj.addr = None
             if trace is not None:
@@ -99,11 +108,9 @@ def run_major_gc(collector) -> None:
     # left untouched: objects at the bottom of the space with little dead
     # space beneath them are not worth moving, which is what keeps stable
     # persisted RDDs from being rewritten (on NVM!) at every full GC.
-    traffic = move_traffic
+    charges = ChargeAccumulator(move_traffic)
     for space in heap.old_spaces:
-        live = list(space.iter_objects_by_addr())
-        space.objects.clear()
-        space.top = space.base
+        live = space.begin_compaction()
         waste_budget = int(space.size * config.dense_prefix_waste)
         sliding = False
         for obj in live:
@@ -116,7 +123,7 @@ def run_major_gc(collector) -> None:
                     remainder = space.top % config.card_size
                     if remainder:
                         space.top += config.card_size - remainder
-                space.objects.add(obj)
+                space.adopt(obj)
                 continue
             sliding = True
             old_pieces = space.traffic_split(old_addr, obj.size)
@@ -130,24 +137,23 @@ def run_major_gc(collector) -> None:
             obj.padded = align is not None
             if obj.addr != old_addr:
                 for device, nbytes in old_pieces:
-                    traffic.add(device, read_bytes=nbytes)
+                    charges.read(device, nbytes)
                 for device, nbytes in space.object_traffic(obj):
-                    traffic.add(device, write_bytes=nbytes)
+                    charges.write(device, nbytes)
                 stats.compacted_bytes += obj.size
-        for obj in space.objects:
-            if obj.is_array:
-                # Addresses may have changed: refresh the card-table span.
-                heap.card_table.register(obj)
+                if obj.is_array:
+                    # The address changed: refresh the card-table span.
+                    # Dense-prefix arrays kept theirs, so only movers pay.
+                    card_table.register(obj)
 
     # Now promote the young survivors into the compacted old spaces.
     for obj in live_young:
         dest = policy.promotion_space(heap, obj)
-        for device, nbytes in [(heap.eden.device, obj.size)]:
-            traffic.add(device, read_bytes=nbytes)
+        charges.read(heap.eden.device, obj.size)
         if not heap._place_in_old(obj, dest):
             raise GCError("full GC could not tenure a young survivor")
         for device, nbytes in obj.space.object_traffic(obj):
-            traffic.add(device, write_bytes=nbytes)
+            charges.write(device, nbytes)
         stats.promoted_bytes += obj.size
         obj.age = 0
         if trace is not None:
@@ -160,22 +166,21 @@ def run_major_gc(collector) -> None:
         if obj not in visited or obj.space is dst_space:
             continue
         src_pieces = obj.space.object_traffic(obj)
-        src_space_name = obj.space.name
-        src_device = obj.space.device_of(obj.addr)
-        was_registered = heap.card_table.is_registered(obj)
-        if was_registered:
-            heap.card_table.unregister(obj)
+        if trace is not None:
+            src_space_name = obj.space.name
+            src_device = obj.space.device_of(obj.addr)
+        card_table.unregister(obj)
         align = (
             config.card_size if (heap.card_padding and obj.is_array) else None
         )
         if not dst_space.place(obj, align_end_to=align):
             continue  # destination filled up; skip the rest of the group
         for device, nbytes in src_pieces:
-            traffic.add(device, read_bytes=nbytes)
+            charges.read(device, nbytes)
         for device, nbytes in dst_space.object_traffic(obj):
-            traffic.add(device, write_bytes=nbytes)
+            charges.write(device, nbytes)
         if obj.is_array:
-            heap.card_table.register(obj)
+            card_table.register(obj)
             if obj.rdd_id is not None:
                 stats.migrated_rdd_ids.add(obj.rdd_id)
         stats.migrated_object_count += 1
@@ -187,25 +192,28 @@ def run_major_gc(collector) -> None:
                 else MIGRATE_DRAM_TO_NVM
             )
             trace.move(kind, obj, src_space_name, src_device.value)
+    charges.flush()
 
     # Phase 6: housekeeping.  Every card is cleaned; write counters and
     # RDD call frequencies start a new cycle; old objects age one major
     # cycle (dynamic migration only re-assesses full-cycle survivors).
-    heap.card_table.clear_all()
+    card_table.clear_all()
+    in_young = heap.in_young
     for space in heap.old_spaces:
         for obj in space.objects:
             obj.write_count = 0
             obj.age += 1
-            if any(heap.in_young(c) for c in obj.refs):
+            if obj.refs and any(in_young(c) for c in obj.refs):
                 raise GCError("old-to-young reference survived a full GC")
     if monitor is not None:
         monitor.reset()
 
     machine.clock.advance(config.gc_fixed_pause_ns)
     for batch in (mark_traffic, move_traffic):
-        machine.run_batch(
-            batch.per_device,
-            threads=config.gc_threads,
-            cpu_ns=_gc_processing_ns(batch, config),
-        )
+        if batch.per_device:
+            machine.run_batch(
+                batch.per_device,
+                threads=config.gc_threads,
+                cpu_ns=_gc_processing_ns(batch, config),
+            )
     stats.record_major(start_ns, machine.clock.now_ns - start_ns)

@@ -17,45 +17,24 @@ constraint whenever card scanning touches NVM-resident arrays):
    promotion* sends tagged objects straight to the old space named by
    their MEMORY_BITS; untagged objects age through the survivor spaces
    and are promoted after ``tenuring_threshold`` survivals.
+
+Per-object costs are accumulated through
+:class:`~repro.gc.charging.ChargeAccumulator` and deposited once per
+device per phase — bit-identical to per-object depositing, several times
+faster (see :mod:`repro.gc.charging`).
 """
 
 from __future__ import annotations
 
 from typing import List, Set
 
+from repro.config import DeviceKind
 from repro.core.tags import MEMORY_BITS_NONE, MemoryTag, merge_tags
 from repro.errors import GCError
-from repro.heap.object_model import HEADER_BYTES, HeapObject
+from repro.gc.charging import ChargeAccumulator
+from repro.heap.object_model import HeapObject
 from repro.memory.machine import TrafficSet
 from repro.trace.events import PROMOTE, SURVIVOR_COPY
-
-
-def _charge_trace(traffic: TrafficSet, obj: HeapObject) -> None:
-    """Tracing cost of visiting one object."""
-    space = obj.space
-    if space is None or obj.addr is None:
-        raise GCError(f"tracing an unplaced object: {obj!r}")
-    device = space.device_of(obj.addr)
-    traffic.add(device, random_reads=1, read_bytes=HEADER_BYTES)
-
-
-def _charge_stream_read(traffic: TrafficSet, obj: HeapObject) -> None:
-    """Streamed read of an object's full payload (card scanning)."""
-    for device, nbytes in obj.space.object_traffic(obj):
-        traffic.add(device, read_bytes=nbytes)
-
-
-def _charge_copy(traffic: TrafficSet, src_pieces, obj: HeapObject, dst_space) -> int:
-    """Streamed copy of an object into ``dst_space``.
-
-    ``src_pieces`` is the per-device split of the object's *source*
-    location, captured before the move.
-    """
-    for device, nbytes in src_pieces:
-        traffic.add(device, read_bytes=nbytes)
-    dst_device = dst_space.device_of(min(dst_space.top, dst_space.end - 1))
-    traffic.add(dst_device, write_bytes=obj.size)
-    return obj.size
 
 
 def _propagate_tag(parent: HeapObject, child: HeapObject) -> None:
@@ -84,7 +63,6 @@ def run_minor_gc(collector) -> None:
     # card scan that discovers it.
     scan_traffic = TrafficSet()
     copy_traffic = TrafficSet()
-    traffic = scan_traffic
     visited: Set[HeapObject] = set()
     young_live: List[HeapObject] = []
 
@@ -92,60 +70,72 @@ def run_minor_gc(collector) -> None:
     # state) that survives this one scavenge and is copied to a survivor
     # space, in every configuration — the young generation is always
     # DRAM-resident.
-    floor_bytes = heap.eden.used * config.minor_live_fraction
+    eden = heap.eden
+    floor_bytes = (eden.top - eden.base) * config.minor_live_fraction
     if floor_bytes > 0:
-        from repro.config import DeviceKind
-
         copy_traffic.add(
             DeviceKind.DRAM, read_bytes=floor_bytes, write_bytes=floor_bytes
         )
 
-    def trace_young(entry: HeapObject) -> None:
-        """Trace the young subgraph reachable from ``entry``."""
-        stack = [entry]
-        while stack:
-            obj = stack.pop()
-            if obj in visited or not heap.in_young(obj):
-                continue
-            visited.add(obj)
-            young_live.append(obj)
-            _charge_trace(traffic, obj)
-            for child in obj.refs:
-                if heap.in_young(child):
-                    _propagate_tag(obj, child)
-                    if child not in visited:
-                        stack.append(child)
+    in_young = heap.in_young
+    roots = heap.iter_roots()
+    card_table = heap.card_table
+    fresh = stuck = None
+    if roots or card_table.pending_scan():
+        charges = ChargeAccumulator(scan_traffic)
+        visit = charges.visit
 
-    # Phase 1: root task.  Old roots are covered by the card table; young
-    # roots are traced.  Root objects with MEMORY_BITS set by rdd_alloc
-    # are recognised here (§4.2.2's modified root-task).
-    for root in heap.iter_roots():
-        _charge_trace(traffic, root)
-        if heap.in_young(root):
-            trace_young(root)
+        def trace_young(entry: HeapObject) -> None:
+            """Trace the young subgraph reachable from ``entry``."""
+            stack = [entry]
+            while stack:
+                obj = stack.pop()
+                if obj in visited or not in_young(obj):
+                    continue
+                visited.add(obj)
+                young_live.append(obj)
+                visit(obj)
+                for child in obj.refs:
+                    if in_young(child):
+                        _propagate_tag(obj, child)
+                        if child not in visited:
+                            stack.append(child)
 
-    # Phase 2: old-to-young card scan (deterministic order).
-    fresh, stuck = heap.card_table.scan_plan()
-    for holder in sorted(fresh | stuck, key=lambda o: o.oid):
-        _charge_stream_read(traffic, holder)
-        stats.card_scanned_bytes += holder.size
-        if holder in stuck:
-            stats.stuck_rescans += 1
-        for child in holder.refs:
-            if heap.in_young(child):
-                _propagate_tag(holder, child)
-                trace_young(child)
+        # Phase 1: root task.  Old roots are covered by the card table;
+        # young roots are traced.  Root objects with MEMORY_BITS set by
+        # rdd_alloc are recognised here (§4.2.2's modified root-task).
+        for root in roots:
+            visit(root)
+            if in_young(root):
+                trace_young(root)
 
-    # Phase 3: copy / promote.
-    traffic = copy_traffic
+        # Phase 2: old-to-young card scan (deterministic order).
+        fresh, stuck = card_table.scan_plan()
+        if fresh or stuck:
+            for holder in sorted(fresh | stuck, key=lambda o: o.oid):
+                charges.stream_read(holder)
+                stats.card_scanned_bytes += holder.size
+                if holder in stuck:
+                    stats.stuck_rescans += 1
+                for child in holder.refs:
+                    if in_young(child):
+                        _propagate_tag(holder, child)
+                        trace_young(child)
+        charges.flush()
+
+    # Phase 3: copy / promote (skipped outright when nothing survived —
+    # the common case for pure streaming churn).
     trace = heap.trace
     survivor_to = heap.survivor_to
     threshold = config.tenuring_threshold
     promoted: List[HeapObject] = []
+    charges = ChargeAccumulator(copy_traffic) if young_live else None
     for obj in young_live:
-        src_pieces = obj.space.object_traffic(obj)
-        src_space = obj.space.name
-        src_device = obj.space.device_of(obj.addr).value
+        src = obj.space
+        src_pieces = src.object_traffic(obj)
+        if trace is not None:
+            src_space = src.name
+            src_device = src.device_of(obj.addr).value
         eager_space = policy.eager_promotion_space(heap, obj)
         if eager_space is not None:
             dest = eager_space
@@ -155,8 +145,8 @@ def run_minor_gc(collector) -> None:
         else:
             dest = survivor_to
         if dest is survivor_to:
-            if survivor_to.free >= obj.size and survivor_to.place(obj):
-                _charge_copy(traffic, src_pieces, obj, survivor_to)
+            if survivor_to.end - survivor_to.top >= obj.size and survivor_to.place(obj):
+                charges.copy(src_pieces, obj, survivor_to)
                 obj.age += 1
                 stats.copied_bytes += obj.size
                 if trace is not None:
@@ -164,7 +154,7 @@ def run_minor_gc(collector) -> None:
                 continue
             # Survivor overflow: fall through to promotion.
             dest = policy.promotion_space(heap, obj)
-        nbytes = _charge_copy(traffic, src_pieces, obj, dest)
+        nbytes = charges.copy(src_pieces, obj, dest)
         if not heap._place_in_old(obj, dest):
             raise GCError(
                 "promotion failed: the collector must guarantee old-gen "
@@ -175,19 +165,22 @@ def run_minor_gc(collector) -> None:
         promoted.append(obj)
         if trace is not None:
             trace.move(PROMOTE, obj, src_space, src_device)
+    if charges is not None:
+        charges.flush()
 
     # Phase 4: card hygiene.  Freshly-scanned cards are cleaned unless the
     # object still holds young references (e.g. its tuples are still aging
     # in a survivor space); stuck cards stay dirty until a major GC.
-    heap.card_table.after_minor_scan()
-    for holder in sorted(fresh, key=lambda o: o.oid):
-        if heap.in_old(holder) and any(heap.in_young(c) for c in holder.refs):
-            heap.card_table.mark_dirty(holder)
+    card_table.after_minor_scan()
+    if fresh:
+        for holder in sorted(fresh, key=lambda o: o.oid):
+            if heap.in_old(holder) and any(in_young(c) for c in holder.refs):
+                card_table.mark_dirty(holder)
     for obj in promoted:
-        if any(heap.in_young(c) for c in obj.refs):
-            if not heap.card_table.is_registered(obj):
-                heap.card_table.register(obj)
-            heap.card_table.mark_dirty(obj)
+        if any(in_young(c) for c in obj.refs):
+            if not card_table.is_registered(obj):
+                card_table.register(obj)
+            card_table.mark_dirty(obj)
 
     # Phase 5: flip the young generation.  Everything still registered in
     # eden or the from-space is dead (survivors were evacuated above), so
@@ -202,11 +195,14 @@ def run_minor_gc(collector) -> None:
 
     machine.clock.advance(config.gc_fixed_pause_ns)
     for batch in (scan_traffic, copy_traffic):
-        machine.run_batch(
-            batch.per_device,
-            threads=config.gc_threads,
-            cpu_ns=_gc_processing_ns(batch, config),
-        )
+        # An empty batch is a no-op (zero duration, nothing recorded);
+        # skipping it avoids the run_batch call on trivial scavenges.
+        if batch.per_device:
+            machine.run_batch(
+                batch.per_device,
+                threads=config.gc_threads,
+                cpu_ns=_gc_processing_ns(batch, config),
+            )
     stats.record_minor(start_ns, machine.clock.now_ns - start_ns)
 
 

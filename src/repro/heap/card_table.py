@@ -54,11 +54,16 @@ class CardTable:
         self._boundary.setdefault(first, set()).add(obj)
         self._boundary.setdefault(last, set()).add(obj)
 
-    def unregister(self, obj: HeapObject) -> None:
-        """Stop tracking an object (death or migration)."""
+    def unregister(self, obj: HeapObject) -> bool:
+        """Stop tracking an object (death or migration).
+
+        Returns:
+            True when the object was tracked — one dict lookup instead of
+            the ``is_registered`` + ``unregister`` double probe.
+        """
         span = self._spans.pop(obj, None)
         if span is None:
-            return
+            return False
         for card in set(span):
             occupants = self._boundary.get(card)
             if occupants is not None:
@@ -67,6 +72,7 @@ class CardTable:
                     del self._boundary[card]
         self._dirty.discard(obj)
         self._stuck.discard(obj)
+        return True
 
     def is_registered(self, obj: HeapObject) -> bool:
         """Whether the object is currently tracked."""
@@ -116,6 +122,12 @@ class CardTable:
             self._stuck.update(n for n in neighbors if n.is_array)
 
     # -- minor GC interface ---------------------------------------------------
+
+    def pending_scan(self) -> bool:
+        """Whether the next minor GC has any cards to scan at all — lets
+        the scavenge skip :meth:`scan_plan`'s defensive set copies (and
+        the whole card phase) on a clean table."""
+        return bool(self._dirty or self._stuck)
 
     def scan_plan(self) -> Tuple[Set[HeapObject], Set[HeapObject]]:
         """Objects the next minor GC must card-scan.

@@ -61,6 +61,9 @@ class ManagedHeap:
         self.card_padding = card_padding
         self.tag_wait = TagWaitState(config.large_array_threshold)
         self._roots: Set[HeapObject] = set()
+        #: memoised sorted root list (every GC sorts the roots otherwise;
+        #: invalidated by add_root / remove_root)
+        self._sorted_roots: Optional[List[HeapObject]] = None
         #: set post-construction; must provide collect_minor()/collect_major()
         self.collector = None
         #: optional callback invoked on every mutator ref write (KW barrier)
@@ -114,14 +117,22 @@ class ManagedHeap:
     def add_root(self, obj: HeapObject) -> None:
         """Register a GC root (driver variable, persisted block, ...)."""
         self._roots.add(obj)
+        self._sorted_roots = None
 
     def remove_root(self, obj: HeapObject) -> None:
         """Unregister a GC root."""
         self._roots.discard(obj)
+        self._sorted_roots = None
 
     def iter_roots(self) -> Iterable[HeapObject]:
-        """All current roots, in allocation order (deterministic)."""
-        return sorted(self._roots, key=lambda o: o.oid)
+        """All current roots, in allocation order (deterministic).
+
+        The sorted list is memoised between root-set changes — callers
+        must not mutate it (every in-tree caller copies or iterates).
+        """
+        if self._sorted_roots is None:
+            self._sorted_roots = sorted(self._roots, key=lambda o: o.oid)
+        return self._sorted_roots
 
     def is_root(self, obj: HeapObject) -> bool:
         """Whether the object is currently a root."""
@@ -143,15 +154,22 @@ class ManagedHeap:
         """
         if nbytes < 0:
             raise HeapError("negative ephemeral allocation")
-        if nbytes > self.eden.size:
+        # Inlined bump: this is the hottest mutator path (called for every
+        # streamed batch), so the common in-bounds case pays two attribute
+        # reads and an add instead of a Space.allocate call.
+        eden = self.eden
+        new_top = eden.top + nbytes
+        if new_top <= eden.end:
+            eden.top = new_top
+            return
+        if nbytes > eden.size:
             raise HeapError(
                 f"ephemeral allocation of {nbytes} exceeds eden "
-                f"({self.eden.size}); chunk the request"
+                f"({eden.size}); chunk the request"
             )
-        if self.eden.allocate(nbytes) is None:
-            self._require_collector().collect_minor()
-            if self.eden.allocate(nbytes) is None:
-                raise OutOfMemoryError("eden full even after a minor GC")
+        self._require_collector().collect_minor()
+        if eden.allocate(nbytes) is None:
+            raise OutOfMemoryError("eden full even after a minor GC")
 
     def new_object(
         self,

@@ -61,6 +61,7 @@ class HeapObject:
         "rdd_id",
         "write_count",
         "padded",
+        "is_array",
         "_mark",
     )
 
@@ -85,6 +86,10 @@ class HeapObject:
         #: True when the allocation was padded to a card boundary
         #: (§4.2.3), so the object's last card is exclusively its own.
         self.padded: bool = False
+        #: True for RDD backbone arrays (the card-padding targets).
+        #: Precomputed: ``kind`` never changes, and this flag is read on
+        #: every place/discard/adopt and card-table operation.
+        self.is_array: bool = kind is ObjKind.RDD_ARRAY
         self._mark: bool = False
 
     @property
@@ -95,11 +100,6 @@ class HeapObject:
     def set_tag(self, tag: Optional[MemoryTag]) -> None:
         """Set the header bits from a tag (None clears them)."""
         self.memory_bits = MEMORY_BITS_NONE if tag is None else tag.bits
-
-    @property
-    def is_array(self) -> bool:
-        """True for RDD backbone arrays (the card-padding targets)."""
-        return self.kind is ObjKind.RDD_ARRAY
 
     def add_ref(self, target: "HeapObject") -> None:
         """Add an outgoing reference (bookkeeping only; barriers are the

@@ -5,6 +5,13 @@ DRAM-backed.  Old-generation spaces are either homogeneous (Panthera's
 DRAM and NVM components, Kingsguard's NVM space) or device-heterogeneous
 via a :class:`~repro.memory.interleave.ChunkMap` (the unmanaged baseline's
 1 GB-chunk interleaving).
+
+Occupancy accounting is incremental: every residency change goes through
+:meth:`Space.place` / :meth:`Space.discard` / :meth:`Space.adopt` /
+:meth:`Space.reset`, which maintain the live-byte and array counters the
+GC triggers read on every allocation slow path.  ``verify_heap`` checks
+the counters against a recomputed sum, so drift is caught by the same
+machinery that catches bump-pointer corruption.
 """
 
 from __future__ import annotations
@@ -24,10 +31,25 @@ class Space:
         name: human-readable identifier ("eden", "old-nvm", ...).
         base: first address.
         size: capacity in bytes.
+        end: one past the last address (``base + size``, precomputed).
         generation: "young", "old" or "native".
         device: backing device for homogeneous spaces (None if chunked).
         chunk_map: address->device map for heterogeneous spaces.
     """
+
+    __slots__ = (
+        "name",
+        "base",
+        "size",
+        "end",
+        "generation",
+        "device",
+        "chunk_map",
+        "top",
+        "objects",
+        "_live_bytes",
+        "_array_count",
+    )
 
     def __init__(
         self,
@@ -47,18 +69,18 @@ class Space:
         self.name = name
         self.base = base
         self.size = size
+        self.end = base + size
         self.generation = generation
         self.device = device
         self.chunk_map = chunk_map
         self.top = base
         self.objects: Set[HeapObject] = set()
+        #: payload bytes of resident objects (incremental live_bytes()).
+        self._live_bytes = 0
+        #: resident RDD backbone arrays (promotion-guarantee padding term).
+        self._array_count = 0
 
     # -- capacity --------------------------------------------------------
-
-    @property
-    def end(self) -> int:
-        """One past the last address of the space."""
-        return self.base + self.size
 
     @property
     def used(self) -> int:
@@ -106,12 +128,51 @@ class Space:
         addr = self.allocate(obj.size, align_end_to=align_end_to)
         if addr is None:
             return False
-        if obj.space is not None and obj in obj.space.objects:
-            obj.space.objects.discard(obj)
+        old_space = obj.space
+        if old_space is not None:
+            old_space.discard(obj)
         obj.addr = addr
         obj.space = self
         self.objects.add(obj)
+        self._live_bytes += obj.size
+        if obj.is_array:
+            self._array_count += 1
         return True
+
+    def discard(self, obj: HeapObject) -> bool:
+        """Remove ``obj`` from this space's residency set (no address or
+        space-field changes — callers clear those when the object dies).
+
+        Returns:
+            True when the object was resident here.
+        """
+        if obj not in self.objects:
+            return False
+        self.objects.discard(obj)
+        self._live_bytes -= obj.size
+        if obj.is_array:
+            self._array_count -= 1
+        return True
+
+    def adopt(self, obj: HeapObject) -> None:
+        """Register an object as resident without bump-allocating — the
+        dense-prefix path of compaction, where the object keeps its
+        address and the caller advances ``top`` explicitly."""
+        self.objects.add(obj)
+        self._live_bytes += obj.size
+        if obj.is_array:
+            self._array_count += 1
+
+    def begin_compaction(self) -> List[HeapObject]:
+        """Start an in-place compaction: forget all residents and rewind
+        the bump pointer, returning the former residents in address order
+        so the collector can re-place the live ones."""
+        live = sorted(self.objects, key=_addr_key)
+        self.objects = set()
+        self._live_bytes = 0
+        self._array_count = 0
+        self.top = self.base
+        return live
 
     def reset(self) -> None:
         """Empty the space (used for eden / from-space after a scavenge).
@@ -129,6 +190,8 @@ class Space:
             obj.addr = None
         self.top = self.base
         self.objects.clear()
+        self._live_bytes = 0
+        self._array_count = 0
 
     # -- device resolution -------------------------------------------------
 
@@ -153,8 +216,18 @@ class Space:
         return self.traffic_split(obj.addr, obj.size)
 
     def live_bytes(self) -> int:
-        """Total payload bytes of objects currently registered here."""
-        return sum(o.size for o in self.objects)
+        """Total payload bytes of objects currently registered here.
+
+        O(1): maintained incrementally by ``place``/``discard``/``adopt``/
+        ``reset`` (``verify_heap`` cross-checks it against a recomputed
+        sum; see :func:`~repro.heap.spaces.recompute_live_bytes`).
+        """
+        return self._live_bytes
+
+    @property
+    def array_count(self) -> int:
+        """Resident RDD backbone arrays (incremental, like live_bytes)."""
+        return self._array_count
 
     def device_histogram(self) -> Dict[DeviceKind, int]:
         """Payload bytes per backing device for the resident objects."""
@@ -166,7 +239,7 @@ class Space:
 
     def iter_objects_by_addr(self) -> Iterable[HeapObject]:
         """Objects in address order (compaction order)."""
-        return sorted(self.objects, key=lambda o: o.addr or 0)
+        return sorted(self.objects, key=_addr_key)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         backing = self.device.value if self.device else "chunked"
@@ -174,3 +247,20 @@ class Space:
             f"<Space {self.name} [{self.base:#x}, {self.end:#x}) {backing} "
             f"used={self.used}/{self.size}>"
         )
+
+
+def _addr_key(obj: HeapObject) -> int:
+    """Address sort key (unplaced objects sort first)."""
+    return obj.addr or 0
+
+
+def recompute_live_bytes(space: Space) -> Tuple[int, int]:
+    """Recompute ``(live_bytes, array_count)`` from scratch — the oracle
+    ``verify_heap`` checks the incremental counters against."""
+    total = 0
+    arrays = 0
+    for obj in space.objects:
+        total += obj.size
+        if obj.is_array:
+            arrays += 1
+    return total, arrays

@@ -7,6 +7,9 @@ when the heap is consistent) or raises when asked to.
 Checked invariants:
 
 * every space's bump pointer stays within its bounds;
+* every space's incremental live-byte / array counters equal a recomputed
+  sum over its resident objects (catches counter drift in the O(1)
+  ``live_bytes()`` fast path);
 * every resident object's ``space``/``addr`` fields agree with the space
   that lists it, and its extent lies below the bump pointer;
 * no two objects in a space overlap;
@@ -24,6 +27,7 @@ from typing import List
 
 from repro.errors import HeapError
 from repro.heap.managed_heap import ManagedHeap
+from repro.heap.spaces import recompute_live_bytes
 
 
 def verify_heap(heap: ManagedHeap, raise_on_error: bool = False) -> List[str]:
@@ -46,6 +50,17 @@ def verify_heap(heap: ManagedHeap, raise_on_error: bool = False) -> List[str]:
             problems.append(
                 f"space {space.name}: bump pointer {space.top:#x} outside "
                 f"[{space.base:#x}, {space.end:#x}]"
+            )
+        expected_live, expected_arrays = recompute_live_bytes(space)
+        if space.live_bytes() != expected_live:
+            problems.append(
+                f"space {space.name}: live-byte counter "
+                f"{space.live_bytes()} != recomputed {expected_live}"
+            )
+        if space.array_count != expected_arrays:
+            problems.append(
+                f"space {space.name}: array counter {space.array_count} "
+                f"!= recomputed {expected_arrays}"
             )
         spans = []
         for obj in space.objects:

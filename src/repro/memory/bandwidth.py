@@ -67,6 +67,12 @@ class BandwidthTracker:
         end_ns = start_ns + duration_ns
         first = int(start_ns // self.window_ns)
         last = int(end_ns // self.window_ns)
+        if first == last:  # the common case: the access fits one window
+            # Same arithmetic as the general loop below ((end - start) is
+            # not exactly duration_ns in floats), so traces stay
+            # bit-identical whichever path runs.
+            bins[first] += nbytes * ((end_ns - start_ns) / duration_ns)
+            return
         for idx in range(first, last + 1):
             w_start = idx * self.window_ns
             w_end = w_start + self.window_ns
@@ -77,25 +83,45 @@ class BandwidthTracker:
     def series(self, device: DeviceKind, is_write: bool) -> List[BandwidthSample]:
         """Return the bandwidth series for one device and direction.
 
-        Windows with no traffic between the first and last active window are
-        reported as zero so plots show gaps honestly.
+        Windows with no traffic between active windows are reported as
+        zero so plots show gaps honestly — but sparsely: an idle stretch
+        contributes only its first and last window, which plots as the
+        same flat zero plateau.  The old dense enumeration materialised
+        every window of the gap, so a workload idling for simulated hours
+        (checkpoint restore, fault back-off) produced millions of
+        identical zero samples and an effectively unplottable series.
         """
         bins = self._bins.get((device, is_write))
         if not bins:
             return []
-        first, last = min(bins), max(bins)
         window_s = self.window_ns / 1e9
-        return [
-            BandwidthSample(
-                time_s=idx * window_s,
-                gbps=bins.get(idx, 0.0) / self.window_ns,  # bytes/ns == GB/s
+        samples: List[BandwidthSample] = []
+        prev = None
+        for idx in sorted(bins):
+            if prev is not None and idx - prev > 1:
+                # Bracket the idle stretch with zeros at its edges.
+                samples.append(BandwidthSample((prev + 1) * window_s, 0.0))
+                if idx - prev > 2:
+                    samples.append(BandwidthSample((idx - 1) * window_s, 0.0))
+            samples.append(
+                BandwidthSample(
+                    time_s=idx * window_s,
+                    gbps=bins[idx] / self.window_ns,  # bytes/ns == GB/s
+                )
             )
-            for idx in range(first, last + 1)
-        ]
+            prev = idx
+        return samples
 
     def peak_gbps(self, device: DeviceKind, is_write: bool) -> float:
-        """Peak windowed bandwidth for one device and direction."""
-        return max((s.gbps for s in self.series(device, is_write)), default=0.0)
+        """Peak windowed bandwidth for one device and direction.
+
+        Computed straight off the active bins: gap windows are zero and
+        can never be the peak, so the series need not be materialised.
+        """
+        bins = self._bins.get((device, is_write))
+        if not bins:
+            return 0.0
+        return max(bins.values()) / self.window_ns
 
     def total_bytes(self, device: DeviceKind, is_write: bool) -> float:
         """Total bytes moved on one device in one direction."""

@@ -64,6 +64,14 @@ class MemoryDevice:
     capacity_bytes: int
     counters: TrafficCounters = field(default_factory=TrafficCounters)
 
+    def __post_init__(self) -> None:
+        # batch_ns is the innermost arithmetic of the whole simulator;
+        # resolve the spec's derived rates once instead of per batch.
+        self._read_latency_ns = self.spec.read_latency_ns
+        self._write_latency_ns = self.spec.write_latency_ns
+        self._bytes_per_ns_read = self.spec.bytes_per_ns_read()
+        self._bytes_per_ns_write = self.spec.bytes_per_ns_write()
+
     def batch_ns(
         self,
         read_bytes: float = 0.0,
@@ -85,12 +93,12 @@ class MemoryDevice:
         """
         parallelism = max(1, threads) * max(1, mlp)
         latency_ns = (
-            random_reads * self.spec.read_latency_ns
-            + random_writes * self.spec.write_latency_ns
+            random_reads * self._read_latency_ns
+            + random_writes * self._write_latency_ns
         ) / parallelism
         bandwidth_ns = (
-            read_bytes / self.spec.bytes_per_ns_read()
-            + write_bytes / self.spec.bytes_per_ns_write()
+            read_bytes / self._bytes_per_ns_read
+            + write_bytes / self._bytes_per_ns_write
         )
         return max(latency_ns, bandwidth_ns)
 

@@ -11,7 +11,6 @@ bandwidth series.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
 from repro.config import (
@@ -27,14 +26,27 @@ from repro.memory.device import MemoryDevice
 from repro.memory.energy import EnergyMeter
 
 
-@dataclass
 class Traffic:
-    """Traffic issued to one device within a batch."""
+    """Traffic issued to one device within a batch.
 
-    read_bytes: float = 0.0
-    write_bytes: float = 0.0
-    random_reads: int = 0
-    random_writes: int = 0
+    A ``__slots__`` class rather than a dataclass: every batch the
+    simulator charges allocates at least one, so the ``__dict__`` per
+    instance and the generated ``__init__`` overhead are measurable.
+    """
+
+    __slots__ = ("read_bytes", "write_bytes", "random_reads", "random_writes")
+
+    def __init__(
+        self,
+        read_bytes: float = 0.0,
+        write_bytes: float = 0.0,
+        random_reads: int = 0,
+        random_writes: int = 0,
+    ) -> None:
+        self.read_bytes = read_bytes
+        self.write_bytes = write_bytes
+        self.random_reads = random_reads
+        self.random_writes = random_writes
 
     def merged(self, other: "Traffic") -> "Traffic":
         """Return the sum of two traffic descriptions."""
@@ -55,12 +67,36 @@ class Traffic:
             and self.random_writes == 0
         )
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Traffic):
+            return NotImplemented
+        return (
+            self.read_bytes == other.read_bytes
+            and self.write_bytes == other.write_bytes
+            and self.random_reads == other.random_reads
+            and self.random_writes == other.random_writes
+        )
 
-@dataclass
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Traffic(read_bytes={self.read_bytes!r}, "
+            f"write_bytes={self.write_bytes!r}, "
+            f"random_reads={self.random_reads!r}, "
+            f"random_writes={self.random_writes!r})"
+        )
+
+
 class TrafficSet:
     """A mutable batch of per-device traffic, built up by GC phases."""
 
-    per_device: Dict[DeviceKind, Traffic] = field(default_factory=dict)
+    __slots__ = ("per_device",)
+
+    def __init__(
+        self, per_device: Optional[Dict[DeviceKind, Traffic]] = None
+    ) -> None:
+        self.per_device: Dict[DeviceKind, Traffic] = (
+            {} if per_device is None else per_device
+        )
 
     def add(
         self,
@@ -71,7 +107,9 @@ class TrafficSet:
         random_writes: int = 0,
     ) -> None:
         """Accumulate traffic for ``device``."""
-        current = self.per_device.setdefault(device, Traffic())
+        current = self.per_device.get(device)
+        if current is None:
+            current = self.per_device[device] = Traffic()
         current.read_bytes += read_bytes
         current.write_bytes += write_bytes
         current.random_reads += random_reads
@@ -150,33 +188,42 @@ class Machine:
         start_ns = self.clock.now_ns
         duration = float(cpu_ns)
         for kind, t in traffic.items():
-            if t.is_empty:
+            if (
+                t.read_bytes == 0
+                and t.write_bytes == 0
+                and t.random_reads == 0
+                and t.random_writes == 0
+            ):
                 continue
-            device = self.devices[kind]
-            device_ns = device.batch_ns(
-                read_bytes=t.read_bytes,
-                write_bytes=t.write_bytes,
-                random_reads=t.random_reads,
-                random_writes=t.random_writes,
-                threads=threads,
-                mlp=effective_mlp,
+            device_ns = self.devices[kind].batch_ns(
+                t.read_bytes,
+                t.write_bytes,
+                t.random_reads,
+                t.random_writes,
+                threads,
+                effective_mlp,
             )
             if kind is DeviceKind.NVM and self.nvm_throttle is not None:
                 device_ns = self.nvm_throttle.apply(start_ns, device_ns)
-            duration = max(duration, device_ns)
+            if device_ns > duration:
+                duration = device_ns
         for kind, t in traffic.items():
-            if t.is_empty:
+            if (
+                t.read_bytes == 0
+                and t.write_bytes == 0
+                and t.random_reads == 0
+                and t.random_writes == 0
+            ):
                 continue
             self.devices[kind].record(
-                read_bytes=t.read_bytes,
-                write_bytes=t.write_bytes,
-                random_reads=t.random_reads,
-                random_writes=t.random_writes,
+                t.read_bytes, t.write_bytes, t.random_reads, t.random_writes
             )
             read_total = t.read_bytes + t.random_reads * 64
             write_total = t.write_bytes + t.random_writes * 64
-            self.bandwidth.record(kind, False, read_total, start_ns, duration)
-            self.bandwidth.record(kind, True, write_total, start_ns, duration)
+            if read_total > 0:
+                self.bandwidth.record(kind, False, read_total, start_ns, duration)
+            if write_total > 0:
+                self.bandwidth.record(kind, True, write_total, start_ns, duration)
         self.clock.advance(duration)
         return duration
 
