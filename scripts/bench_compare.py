@@ -7,10 +7,14 @@ Usage::
         [--advisory]
 
 Exits 1 when any benchmark's metric (per-iteration time for micros, wall
-time for experiments) exceeds the baseline by more than the tolerance —
-unless ``--advisory`` is given, in which case regressions are reported
-but the exit code stays 0.  Wall-clock baselines are machine-specific:
-CI gates hard only on main (same runner class), advisory on PRs.
+time for experiments and sweep points, the per-record growth ratio for
+``sweep_summary`` records) exceeds the baseline by more than the
+tolerance — unless ``--advisory`` is given, in which case regressions
+are reported but the exit code stays 0.  Wall-clock baselines are
+machine-specific: CI gates hard only on main (same runner class),
+advisory on PRs.  ``sweep_summary`` ratios compare per-record cost at
+the sweep's top scale against scale 1, so they are machine-independent
+and meaningful even across runner classes.
 """
 
 from __future__ import annotations

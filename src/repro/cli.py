@@ -396,14 +396,28 @@ def cmd_bench(args) -> int:
     from repro import bench
 
     mode = "quick" if args.quick else "full"
+    if args.scale_sweep:
+        mode += " + scale-sweep"
     print(f"running the {mode} benchmark suite ...")
     document = bench.run_bench_suite(
-        quick=args.quick, rounds=args.rounds, log=print
+        quick=args.quick,
+        rounds=args.rounds,
+        log=print,
+        scale_sweep=args.scale_sweep,
     )
     path = args.out or bench.default_output_path()
     bench.write_bench_report(document, path)
     print(f"  peak RSS: {document['peak_rss_kb']} KiB")
     print(f"  wrote {path}")
+    failed = False
+    non_linear = [
+        r["name"]
+        for r in document["benchmarks"]
+        if r.get("kind") == "sweep_summary" and not r.get("linear", True)
+    ]
+    if non_linear:
+        print(f"  NON-LINEAR scale sweep: {', '.join(non_linear)}")
+        failed = not args.advisory
     if args.compare:
         import json as _json
 
@@ -415,8 +429,8 @@ def cmd_bench(args) -> int:
         for line in report.lines:
             print("  " + line)
         if report.regressions and not args.advisory:
-            return 1
-    return 0
+            failed = True
+    return 1 if failed else 0
 
 
 def cmd_list(_args) -> int:
@@ -604,6 +618,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="fewer rounds and experiment cells (CI smoke mode)",
+    )
+    bench_parser.add_argument(
+        "--scale-sweep",
+        action="store_true",
+        help="also run PR and CC cells across scales (0.02..10, or "
+        "0.02..5 with --quick) and assert near-linear wall-time growth",
     )
     bench_parser.add_argument(
         "--rounds",

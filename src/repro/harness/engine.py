@@ -108,6 +108,11 @@ class ExperimentPoint:
         Two points share a fingerprint iff they would produce identical
         results: same workload, same configuration (every field), same
         scale, same workload arguments, same simulator source.
+
+        The dataset memo in :mod:`repro.workloads.datasets` needs no
+        extra key material here: its cache key (scale, seed) is a pure
+        function of ``(workload, scale, workload_kwargs)``, which this
+        payload already covers.
         """
         payload = {
             "code": code_version(),

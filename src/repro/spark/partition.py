@@ -3,13 +3,41 @@
 A record is a plain ``(key, value)`` tuple; its byte weight lives on the
 owning RDD (``bytes_per_record``), which keeps the data plane cheap while
 the cost plane stays byte-accurate.
+
+This module is also the home of the data plane's A/B switch: every
+wall-clock optimisation introduced by the scale-sweep overhaul (cached
+key hashing, one-pass bucketing, shared record batches, copy elision in
+the scheduler and materialiser) is guarded by :data:`LEGACY_DATA_PLANE`,
+mirroring ``repro.gc.charging.BATCHED_DEPOSITS``.  Flipping the flag
+restores the original per-record code paths, which is how the identity
+tests prove the optimised plane is byte-for-byte equivalent.
 """
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Sequence, Tuple
 
 Record = Tuple[Any, Any]
+
+#: A/B switch for the optimised data plane.  The default (False) enables
+#: cached hashing, one-pass bucketing and shared (copy-elided) record
+#: batches; True restores the original per-record implementations.
+#: Results are byte-identical either way — only wall-clock time differs —
+#: because (a) the hash cache stores only exact-``str`` keys, whose
+#: equality implies identical characters and therefore an identical
+#: polynomial hash, (b) the inline ``int`` path computes exactly what
+#: ``_stable_hash`` computes for ints, and (c) no consumer of a record
+#: list ever mutates it in place (transformations build fresh output
+#: lists), so sharing a list is observationally equal to copying it.
+LEGACY_DATA_PLANE = False
+
+#: Bound on the per-partitioner key-hash cache.  Larger key universes
+#: simply stop caching; correctness never depends on a hit.
+_HASH_CACHE_LIMIT = 1 << 16
+
+#: Sentinel distinguishing "absent" from legitimate None/falsy values in
+#: single-probe dict loops (see ``rdd.py`` aggregators).
+_MISSING = object()
 
 
 class HashPartitioner:
@@ -18,15 +46,35 @@ class HashPartitioner:
     Python's ``hash`` of ints/strings is deterministic within a process
     for ints and stable across runs for ints; to be fully reproducible we
     use a simple polynomial string hash instead of the salted built-in.
+
+    String keys have their hash memoised per partitioner (bounded by
+    ``_HASH_CACHE_LIMIT``): only exact-type ``str`` keys are cached, so a
+    cache hit can never return a hash computed for a different-typed
+    equal key (``1.0 == 1`` but ``_stable_hash(1.0) != _stable_hash(1)``
+    — floats, bools and tuples therefore always take the uncached path).
     """
 
     def __init__(self, num_partitions: int) -> None:
         if num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
         self.num_partitions = num_partitions
+        self._hash_cache: Dict[str, int] = {}
 
     def partition_of(self, key: Hashable) -> int:
         """Partition index for a key."""
+        if LEGACY_DATA_PLANE:
+            return _stable_hash(key) % self.num_partitions
+        tk = type(key)
+        if tk is int:
+            return (key & 0x7FFFFFFF) % self.num_partitions
+        if tk is str:
+            cache = self._hash_cache
+            h = cache.get(key)
+            if h is None:
+                h = _stable_hash(key)
+                if len(cache) < _HASH_CACHE_LIMIT:
+                    cache[key] = h
+            return h % self.num_partitions
         return _stable_hash(key) % self.num_partitions
 
     def __eq__(self, other: object) -> bool:
@@ -38,12 +86,54 @@ class HashPartitioner:
     def __hash__(self) -> int:
         return hash(("HashPartitioner", self.num_partitions))
 
+    def bucket_into(
+        self, records: Iterable[Record], buckets: List[List[Record]]
+    ) -> List[List[Record]]:
+        """Append each record to its partition's bucket, one pass.
+
+        The shuffle map stage's hot loop: locals are bound once and the
+        common key types (exact ``int``, cached exact ``str``) bypass the
+        ``partition_of`` call entirely.  Bucket assignment is identical
+        to ``buckets[self.partition_of(record[0])].append(record)``.
+        """
+        if LEGACY_DATA_PLANE:
+            for record in records:
+                buckets[self.partition_of(record[0])].append(record)
+            return buckets
+        n = self.num_partitions
+        cache = self._hash_cache
+        cache_get = cache.get
+        for record in records:
+            key = record[0]
+            tk = type(key)
+            if tk is int:
+                h = key & 0x7FFFFFFF
+            elif tk is str:
+                h = cache_get(key)
+                if h is None:
+                    h = _stable_hash(key)
+                    if len(cache) < _HASH_CACHE_LIMIT:
+                        cache[key] = h
+            elif (
+                tk is tuple
+                and len(key) == 2
+                and type(key[0]) is int
+                and type(key[1]) is int
+            ):
+                # distinct()'s (record, None) keying shuffles 2-int
+                # tuples; inline the recursion for exactly that shape.
+                h = (
+                    (key[0] & 0x7FFFFFFF) * 1_000_003 + (key[1] & 0x7FFFFFFF)
+                ) & 0x7FFFFFFF
+            else:
+                h = _stable_hash(key)
+            buckets[h % n].append(record)
+        return buckets
+
     def split(self, records: Iterable[Record]) -> List[List[Record]]:
         """Bucket records into per-partition lists."""
         buckets: List[List[Record]] = [[] for _ in range(self.num_partitions)]
-        for record in records:
-            buckets[self.partition_of(record[0])].append(record)
-        return buckets
+        return self.bucket_into(records, buckets)
 
 
 def _stable_hash(key: Hashable) -> int:

@@ -14,7 +14,8 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.core.tags import MemoryTag
 from repro.errors import SparkError
-from repro.spark.partition import HashPartitioner, Record
+from repro.spark import partition as _partition
+from repro.spark.partition import _MISSING, HashPartitioner, Record
 from repro.spark.storage import StorageLevel
 
 
@@ -134,7 +135,7 @@ class RDD:
         flag; GraphX relies on it to avoid re-shuffling the graph).
         """
         def apply_map(records: List[Record]) -> List[Record]:
-            return [fn(r) for r in records]
+            return list(map(fn, records))
 
         return self._narrow(
             apply_map, size_factor, name, preserves=preserves_partitioning
@@ -148,10 +149,9 @@ class RDD:
     ) -> "RDD":
         """Apply ``fn`` to each record and flatten the results."""
         def apply_flat_map(records: List[Record]) -> List[Record]:
-            out: List[Record] = []
-            for r in records:
-                out.extend(fn(r))
-            return out
+            return list(
+                itertools.chain.from_iterable(map(fn, records))
+            )
 
         return self._narrow(apply_flat_map, size_factor, name, preserves=False)
 
@@ -160,7 +160,7 @@ class RDD:
     ) -> "RDD":
         """Keep records satisfying the predicate."""
         def apply_filter(records: List[Record]) -> List[Record]:
-            return [r for r in records if predicate(r)]
+            return list(filter(predicate, records))
 
         return self._narrow(apply_filter, 1.0, name, preserves=True)
 
@@ -180,7 +180,9 @@ class RDD:
         """Project to values (keyed by their original key for bookkeeping
         simplicity: downstream flatMaps receive (key, value) pairs)."""
         def apply_values(records: List[Record]) -> List[Record]:
-            return list(records)
+            if _partition.LEGACY_DATA_PLANE:
+                return list(records)
+            return records
 
         return self._narrow(apply_values, 1.0, name, preserves=False)
 
@@ -245,8 +247,17 @@ class RDD:
 
         def group(records: List[Record]) -> List[Record]:
             grouped: dict = {}
-            for k, v in records:
-                grouped.setdefault(k, []).append(v)
+            if _partition.LEGACY_DATA_PLANE:
+                for k, v in records:
+                    grouped.setdefault(k, []).append(v)
+            else:
+                get = grouped.get
+                for k, v in records:
+                    values = get(k)
+                    if values is None:
+                        grouped[k] = [v]
+                    else:
+                        values.append(v)
             return list(grouped.items())
 
         return ShuffledRDD(
@@ -271,8 +282,14 @@ class RDD:
 
         def reduce_partition(records: List[Record]) -> List[Record]:
             acc: dict = {}
-            for k, v in records:
-                acc[k] = fn(acc[k], v) if k in acc else v
+            if _partition.LEGACY_DATA_PLANE:
+                for k, v in records:
+                    acc[k] = fn(acc[k], v) if k in acc else v
+            else:
+                get = acc.get
+                for k, v in records:
+                    prev = get(k, _MISSING)
+                    acc[k] = v if prev is _MISSING else fn(prev, v)
             return list(acc.items())
 
         return ShuffledRDD(
@@ -309,14 +326,28 @@ class RDD:
 
         def seq_fold(records: List[Record]) -> List[Record]:
             acc: dict = {}
-            for k, v in records:
-                acc[k] = seq_fn(acc[k] if k in acc else zero, v)
+            if _partition.LEGACY_DATA_PLANE:
+                for k, v in records:
+                    acc[k] = seq_fn(acc[k] if k in acc else zero, v)
+            else:
+                get = acc.get
+                for k, v in records:
+                    prev = get(k, _MISSING)
+                    acc[k] = seq_fn(zero if prev is _MISSING else prev, v)
             return list(acc.items())
 
         def comb_fold(records: List[Record]) -> List[Record]:
             acc: dict = {}
-            for k, partial in records:
-                acc[k] = comb_fn(acc[k], partial) if k in acc else partial
+            if _partition.LEGACY_DATA_PLANE:
+                for k, partial in records:
+                    acc[k] = comb_fn(acc[k], partial) if k in acc else partial
+            else:
+                get = acc.get
+                for k, partial in records:
+                    prev = get(k, _MISSING)
+                    acc[k] = (
+                        partial if prev is _MISSING else comb_fn(prev, partial)
+                    )
             return list(acc.items())
 
         return ShuffledRDD(
@@ -491,7 +522,10 @@ class SourceRDD(RDD):
     def compute_partition(self, pidx: int, task) -> List[Record]:
         records = self._partitions[pidx]
         task.charge_source_read(self, records)
-        return list(records)
+        # Source partitions are shared, not copied: downstream
+        # transformations build fresh output lists and never mutate
+        # their input (the legacy data plane copies anyway).
+        return list(records) if _partition.LEGACY_DATA_PLANE else records
 
 
 class MapPartitionsRDD(RDD):
@@ -636,10 +670,39 @@ class CoGroupedRDD(RDD):
             else:
                 sides.append(task.get_records(dep.parent, pidx))
         grouped: dict = {}
-        for side_idx, side in enumerate(sides):
-            for k, v in side:
-                slots = grouped.setdefault(k, tuple([] for _ in sides))
-                slots[side_idx].append(v)
+        if _partition.LEGACY_DATA_PLANE:
+            for side_idx, side in enumerate(sides):
+                for k, v in side:
+                    slots = grouped.setdefault(k, tuple([] for _ in sides))
+                    slots[side_idx].append(v)
+        elif len(sides) == 2:
+            # The join/cogroup hot path: single dict probe per record and
+            # no per-record slot-tuple allocation.  Insertion order (side
+            # 0 fully, then side 1) and per-slot append order match the
+            # general loop exactly.
+            left, right = sides
+            get = grouped.get
+            for k, v in left:
+                slot = get(k)
+                if slot is None:
+                    grouped[k] = ([v], [])
+                else:
+                    slot[0].append(v)
+            for k, v in right:
+                slot = get(k)
+                if slot is None:
+                    grouped[k] = ([], [v])
+                else:
+                    slot[1].append(v)
+        else:
+            n_sides = len(sides)
+            get = grouped.get
+            for side_idx, side in enumerate(sides):
+                for k, v in side:
+                    slots = get(k)
+                    if slots is None:
+                        slots = grouped[k] = tuple([] for _ in range(n_sides))
+                    slots[side_idx].append(v)
         if self.inner:
             out = [(k, v) for k, v in grouped.items() if all(v)]
         else:

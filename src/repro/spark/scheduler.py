@@ -17,6 +17,7 @@ unmanaged baseline pay for NVM-resident hot RDDs while Panthera does not.
 
 from __future__ import annotations
 
+from itertools import chain as _chain
 from typing import Dict, List, Optional, Set
 
 from repro.config import DeviceKind
@@ -25,7 +26,8 @@ from repro.core.tags import MemoryTag
 from repro.errors import OutOfMemoryError, SparkError
 from repro.heap.object_model import ObjKind
 from repro.spark.materialize import MaterializedBlock
-from repro.spark.partition import Record
+from repro.spark import partition as _partition
+from repro.spark.partition import _MISSING, Record
 from repro.spark.rdd import (
     RDD,
     ShuffleDependency,
@@ -96,7 +98,7 @@ class Scheduler:
                 self._scopes[-1].append(block)
         finally:
             self._pop_scope()
-        records: List[Record] = [r for part in parts for r in part]
+        records: List[Record] = list(_chain.from_iterable(parts))
         if action == "count":
             return len(records)
         if action == "collect":
@@ -172,25 +174,42 @@ class Scheduler:
             for pidx in range(dep.parent.num_partitions):
                 records = self.get_records(dep.parent, pidx)
                 in_bytes = len(records) * dep.parent.bytes_per_record
+                n_records = len(records)
                 if dep.map_side_combine is not None or dep.map_side_aggregate is not None:
                     if dep.map_side_aggregate is not None:
                         records = dep.map_side_aggregate(records)
+                        n_records = len(records)
                     else:
                         combined: dict = {}
                         fn = dep.map_side_combine
-                        for k, v in records:
-                            combined[k] = fn(combined[k], v) if k in combined else v
-                        records = list(combined.items())
+                        if _partition.LEGACY_DATA_PLANE:
+                            for k, v in records:
+                                combined[k] = (
+                                    fn(combined[k], v) if k in combined else v
+                                )
+                        else:
+                            # Single dict probe per record; fn sees the
+                            # same (accumulator, value) order as before.
+                            get = combined.get
+                            for k, v in records:
+                                prev = get(k, _MISSING)
+                                combined[k] = (
+                                    v if prev is _MISSING else fn(prev, v)
+                                )
+                        # Stream the combined items straight into the
+                        # buckets — the intermediate list(combined.items())
+                        # the legacy plane built held identical tuples.
+                        records = combined.items()
+                        n_records = len(combined)
                     self.ctx.machine.access(
                         DeviceKind.DRAM,
                         random_reads=costs.hash_probes_for(in_bytes),
                         threads=threads,
                         cpu_ns=in_bytes * costs.cpu_ns_per_byte / threads,
                     )
-                for record in records:
-                    buckets[dep.partitioner.partition_of(record[0])].append(record)
+                dep.partitioner.bucket_into(records, buckets)
                 out_bytes = (
-                    len(records) * dep.parent.bytes_per_record * dep.combine_factor
+                    n_records * dep.parent.bytes_per_record * dep.combine_factor
                 )
                 ser_bytes = out_bytes * costs.ser_factor
                 self.ctx.machine.access(
@@ -281,7 +300,9 @@ class Scheduler:
         # this is what keeps iteratively re-read RDDs "hot" across major
         # GCs (§4.2.2).
         self.ctx.on_rdd_call(rdd)
-        return list(records)
+        # Served partitions are shared, not copied: consumers never
+        # mutate record lists (the legacy data plane copies anyway).
+        return list(records) if _partition.LEGACY_DATA_PLANE else records
 
     # ------------------------------------------------------------------
     # materialisation paths
@@ -326,7 +347,11 @@ class Scheduler:
                 top=top,
                 arrays=[],
                 slabs=[[] for _ in parts],
-                records=[list(p) for p in parts],
+                records=(
+                    [list(p) for p in parts]
+                    if _partition.LEGACY_DATA_PLANE
+                    else parts
+                ),
                 data_bytes=total_bytes,
                 on_disk=True,
             )
@@ -366,7 +391,11 @@ class Scheduler:
             top=top,
             arrays=arrays,
             slabs=[[] for _ in parts],
-            records=[list(p) for p in parts],
+            records=(
+                [list(p) for p in parts]
+                if _partition.LEGACY_DATA_PLANE
+                else parts
+            ),
             data_bytes=total,
         )
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Set
 
 from repro.errors import SparkError
+from repro.spark import partition as _partition
 from repro.spark.partition import Record
 
 
@@ -19,6 +20,10 @@ class ShuffleManager:
     """In-memory registry standing in for shuffle files on disk."""
 
     def __init__(self) -> None:
+        #: running total of serialised bytes across all shuffles, kept in
+        #: lock-step with ``_sizes`` by :meth:`write` so reports never
+        #: recompute the nested sum.
+        self._total_bytes = 0.0
         #: shuffle id -> per-reduce-partition record lists
         self._outputs: Dict[int, List[List[Record]]] = {}
         #: shuffle id -> serialised bytes per reduce partition
@@ -55,6 +60,9 @@ class ShuffleManager:
             raise SparkError(f"shuffle {shuffle_id} written twice")
         if len(buckets) != len(serialized_bytes):
             raise SparkError("bucket/size length mismatch")
+        self._total_bytes += sum(serialized_bytes) - sum(
+            self._sizes.get(shuffle_id, ())
+        )
         self._outputs[shuffle_id] = buckets
         self._sizes[shuffle_id] = serialized_bytes
         self._lost.pop(shuffle_id, None)
@@ -77,6 +85,10 @@ class ShuffleManager:
             )
         self._outputs[shuffle_id][pidx] = []
         self._lost.setdefault(shuffle_id, set()).add(pidx)
+        # The running byte counter is intentionally untouched: a kill
+        # destroys an executor's in-memory copy, but the shuffle *file*
+        # (whose size ``_sizes`` records) still exists on disk, exactly
+        # as the recomputed nested sum always reported.
 
     def is_lost(self, shuffle_id: int, pidx: int) -> bool:
         """Whether a reduce partition is currently lost to a kill."""
@@ -87,21 +99,32 @@ class ShuffleManager:
         return set(self._lost.get(shuffle_id, ()))
 
     def read(self, shuffle_id: int, pidx: int) -> List[Record]:
-        """Fetch one reduce partition's records."""
+        """Fetch one reduce partition's records.
+
+        The returned list is shared with the stored output (no consumer
+        mutates record lists, and :meth:`invalidate` replaces rather than
+        mutates bucket entries); the legacy data plane copies it.
+        """
         if self.is_lost(shuffle_id, pidx):
             raise SparkError(
                 f"shuffle {shuffle_id} partition {pidx} was lost and has "
                 "not been recomputed"
             )
         try:
-            return list(self._outputs[shuffle_id][pidx])
+            records = self._outputs[shuffle_id][pidx]
         except KeyError:
             raise SparkError(f"shuffle {shuffle_id} has not been written") from None
+        return list(records) if _partition.LEGACY_DATA_PLANE else records
 
     def serialized_bytes(self, shuffle_id: int, pidx: int) -> float:
         """Serialised on-disk size of one reduce partition."""
         return self._sizes[shuffle_id][pidx]
 
     def total_bytes(self) -> float:
-        """Total serialised bytes across all shuffles (for reports)."""
-        return sum(sum(sizes) for sizes in self._sizes.values())
+        """Total serialised bytes across all shuffles (for reports).
+
+        O(1): a running counter maintained by :meth:`write` (overwrites
+        subtract the replaced sizes first), always equal to
+        ``sum(sum(sizes) for sizes in self._sizes.values())``.
+        """
+        return self._total_bytes

@@ -27,6 +27,11 @@ WORKLOADS: Dict[str, Callable[..., WorkloadSpec]] = {
 def build_workload(name: str, **kwargs) -> WorkloadSpec:
     """Build a workload by its Table 4 abbreviation.
 
+    Input datasets are memoised per process on (scale, seed) — see
+    :mod:`repro.workloads.datasets` — so building the same workload for
+    several policy cells generates its input once; the program IR itself
+    is rebuilt per call (it is cheap and carries per-run RDD identities).
+
     Args:
         name: one of PR, KM, LR, TC, CC, SSSP, BC.
         **kwargs: forwarded to the builder (``scale``, ``iterations``,

@@ -1,0 +1,401 @@
+"""Tests for the scale-sweep data-plane overhaul.
+
+Covers the optimised data plane behind ``partition.LEGACY_DATA_PLANE``:
+cached shuffle hashing (O(1) hash work on repeated shuffles), shared
+record batches (alias safety and the peak-memory win), the O(1) shuffle
+byte counter, dataset memoisation, A/B byte-identity on traced and
+fault-injected runs (fixed cells and random hypothesis pipelines), the
+scale-sweep mechanics, and the ``bench_compare`` sweep kinds.
+"""
+
+import tracemalloc
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import PolicyName
+from repro.faults import FaultInjector, FaultPlan, KillSpec, action_checksums
+from repro.gc.gclog import render_log
+from repro.harness.configs import paper_config
+from repro.harness.experiment import run_experiment
+from repro.spark import partition as _partition
+from repro.spark.partition import HashPartitioner, _stable_hash
+from repro.spark.shuffle import ShuffleManager
+from repro.trace import TraceSession
+from tests.conftest import small_context
+from tests.test_properties_spark import DATASET, STEP, build_pipeline
+
+
+@pytest.fixture
+def legacy_plane():
+    """Run a test under the legacy (pre-overhaul) data plane."""
+    saved = _partition.LEGACY_DATA_PLANE
+    _partition.LEGACY_DATA_PLANE = True
+    try:
+        yield
+    finally:
+        _partition.LEGACY_DATA_PLANE = saved
+
+
+def _under_plane(legacy, fn):
+    """Call ``fn()`` with the data-plane flag set to ``legacy``."""
+    saved = _partition.LEGACY_DATA_PLANE
+    _partition.LEGACY_DATA_PLANE = legacy
+    try:
+        return fn()
+    finally:
+        _partition.LEGACY_DATA_PLANE = saved
+
+
+# -- satellite: cached shuffle hashing -------------------------------------
+
+
+class TestHashCache:
+    def test_repeated_split_does_no_hash_work(self, monkeypatch):
+        """Second shuffle of the same string keys recomputes zero hashes."""
+        calls = []
+        monkeypatch.setattr(
+            _partition,
+            "_stable_hash",
+            lambda key, _real=_stable_hash: (calls.append(key), _real(key))[1],
+        )
+        part = HashPartitioner(4)
+        records = [(f"key-{i % 50}", i) for i in range(200)]
+        first = part.split(records)
+        assert len(calls) == 50  # one per distinct key, not per record
+        calls.clear()
+        second = part.split(records)
+        assert calls == []  # O(1) hash work: all hits
+        assert first == second
+
+    def test_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(_partition, "_HASH_CACHE_LIMIT", 8)
+        part = HashPartitioner(4)
+        part.split([(f"key-{i}", i) for i in range(100)])
+        assert len(part._hash_cache) <= 8
+
+    @pytest.mark.parametrize(
+        "key",
+        [1, -1, 1.0, 2.5, True, False, None, "1", "", "key", b"key",
+         (1,), (1.0,), (1, 2), (-3, 7), ("a", 1), (1, 2, 3), ((1, 2), 3)],
+    )
+    def test_bucketing_identical_to_legacy_per_key(self, key):
+        """Equal-but-differently-typed keys (1 vs 1.0 vs True) must keep
+        their legacy buckets: only exact-type fast paths are allowed."""
+        part = HashPartitioner(7)
+        legacy = _under_plane(True, lambda: part.partition_of(key))
+        optimised = _under_plane(False, lambda: part.partition_of(key))
+        assert optimised == legacy
+        buckets = part.split([(key, "v")])
+        assert buckets[legacy] == [(key, "v")]
+
+    def test_split_matches_legacy_on_mixed_keys(self):
+        records = [
+            (k, i)
+            for i, k in enumerate(
+                [0, 1, 2**40, -5, "a", "bb", "a", 3.5, None, (1, 2),
+                 (2, 1), ("x", 2), True, b"raw", (7,)] * 4
+            )
+        ]
+        part_a, part_b = HashPartitioner(5), HashPartitioner(5)
+        legacy = _under_plane(True, lambda: part_a.split(records))
+        optimised = _under_plane(False, lambda: part_b.split(records))
+        assert optimised == legacy
+
+
+# -- satellite: shared record batches --------------------------------------
+
+
+class TestSharedBatches:
+    def _collect_twice(self, ctx):
+        rdd = ctx.parallelize(
+            [(i % 5, i) for i in range(40)], 3, 2 * 2**20, name="shared-src"
+        ).map(lambda r: (r[0], r[1] + 1))
+        rdd.persist()
+        first = ctx.scheduler.run_action(rdd, "collect")
+        return rdd, first
+
+    def test_action_result_is_not_an_alias_of_the_block(self):
+        """Mutating a collect() result must not corrupt the cached block."""
+        ctx = small_context(PolicyName.PANTHERA)
+        rdd, first = self._collect_twice(ctx)
+        baseline = list(first)
+        first.append(("junk", -1))
+        first[0] = ("junk", -2)
+        second = ctx.scheduler.run_action(rdd, "collect")
+        assert second == baseline
+
+    def test_shared_and_legacy_planes_compute_equal_results(self):
+        def run():
+            ctx = small_context(PolicyName.PANTHERA)
+            rdd, first = self._collect_twice(ctx)
+            return first, ctx.scheduler.run_action(rdd, "collect")
+
+        opt_first, opt_second = _under_plane(False, run)
+        leg_first, leg_second = _under_plane(True, run)
+        assert opt_first == leg_first
+        assert opt_second == leg_second
+
+    def test_peak_memory_drops_without_deep_copies(self):
+        """Sharing batches instead of deep-copying lowers the Python-level
+        peak allocation of a CC cell (datasets pre-warmed for both)."""
+        config = paper_config(64, 1 / 3, PolicyName.PANTHERA, 0.5)
+
+        def run_cell():
+            return run_experiment(
+                "CC", config, scale=0.5, workload_kwargs={"iterations": 2}
+            )
+
+        run_cell()  # warm the dataset memo and import state for both sides
+
+        def peak(legacy):
+            def measured():
+                tracemalloc.start()
+                try:
+                    run_cell()
+                    return tracemalloc.get_traced_memory()[1]
+                finally:
+                    tracemalloc.stop()
+
+            return _under_plane(legacy, measured)
+
+        assert peak(False) < peak(True)
+
+
+# -- satellite: O(1) shuffle byte accounting -------------------------------
+
+
+class TestShuffleTotalBytes:
+    @staticmethod
+    def _recomputed(manager):
+        return sum(sum(sizes) for sizes in manager._sizes.values())
+
+    def test_counter_tracks_write_overwrite_invalidate(self):
+        manager = ShuffleManager()
+        assert manager.total_bytes() == 0.0
+        manager.write(0, [[(1, 1)], [(2, 2)]], [10.0, 20.0])
+        assert manager.total_bytes() == self._recomputed(manager) == 30.0
+        manager.write(1, [[(3, 3)]], [5.5])
+        assert manager.total_bytes() == self._recomputed(manager) == 35.5
+        # A fault-recovery rewrite replaces shuffle 0's sizes in place.
+        manager.invalidate(0, 1)
+        assert manager.total_bytes() == self._recomputed(manager) == 35.5
+        manager.write(0, [[(1, 1)], [(2, 2)]], [12.0, 8.0], overwrite=True)
+        assert manager.total_bytes() == self._recomputed(manager) == 25.5
+
+
+# -- satellite: dataset memoisation ----------------------------------------
+
+
+class TestDatasetMemoisation:
+    def test_same_key_returns_cached_spec(self):
+        from repro.workloads import datasets
+
+        datasets.clear_dataset_caches()
+        a = datasets.pagerank_graph(scale=0.05, seed=7)
+        b = datasets.pagerank_graph(scale=0.05, seed=7)
+        assert a is b  # memo hit: the exact same frozen spec
+        hits, misses = datasets.dataset_cache_info()["pagerank_graph"]
+        assert (hits, misses) == (1, 1)
+
+    def test_distinct_keys_generate_distinct_specs(self):
+        from repro.workloads import datasets
+
+        datasets.clear_dataset_caches()
+        base = datasets.pagerank_graph(scale=0.05, seed=7)
+        assert datasets.pagerank_graph(scale=0.05, seed=8) is not base
+        assert datasets.pagerank_graph(scale=0.1, seed=7) is not base
+        # typed=True: int and float scales stay distinct (names differ).
+        by_int = datasets.pagerank_graph(scale=1, seed=7)
+        by_float = datasets.pagerank_graph(scale=1.0, seed=7)
+        assert by_int is not by_float
+        assert by_int.name != by_float.name
+
+    def test_clear_resets_the_memo(self):
+        from repro.workloads import datasets
+
+        datasets.clear_dataset_caches()
+        datasets.pagerank_graph(scale=0.05, seed=7)
+        datasets.clear_dataset_caches()
+        _, misses = datasets.dataset_cache_info()["pagerank_graph"]
+        assert misses == 0
+
+
+# -- satellite: A/B byte-identity on traced + faulted cells ----------------
+
+
+class TestDataPlaneIdentity:
+    def _run_cell(self, workload):
+        config = paper_config(64, 1 / 3, PolicyName.PANTHERA, 0.01)
+        plan = FaultPlan(kills=[KillSpec("shuffle", 1, 0)], seed=7)
+        result = run_experiment(
+            workload,
+            config,
+            scale=0.01,
+            workload_kwargs={"iterations": 2},
+            keep_context=True,
+            trace=True,
+            faults=plan,
+        )
+        stats = result.context.collector.stats
+        return {
+            "elapsed": repr(result.elapsed_s),
+            "gclog": render_log(stats, result.elapsed_s, tail=50),
+            "checksums": action_checksums(result.action_results),
+            "events": [repr(e) for e in result.trace_events],
+        }
+
+    @pytest.mark.parametrize("workload", ["PR", "CC"])
+    def test_traced_faulted_cell_identical_either_plane(self, workload):
+        optimised = _under_plane(False, lambda: self._run_cell(workload))
+        legacy = _under_plane(True, lambda: self._run_cell(workload))
+        assert optimised["elapsed"] == legacy["elapsed"]
+        assert optimised["gclog"] == legacy["gclog"]
+        assert optimised["checksums"] == legacy["checksums"]
+        assert optimised["events"] == legacy["events"]
+
+
+class TestDataPlanePropertyAB:
+    """Random traced (and sometimes faulted) pipelines are byte-identical
+    under the legacy and optimised data planes."""
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        records=DATASET,
+        steps=st.lists(STEP, min_size=1, max_size=5),
+        kill=st.booleans(),
+    )
+    def test_random_pipelines_identical_across_planes(
+        self, records, steps, kill
+    ):
+        def run():
+            ctx = small_context(PolicyName.PANTHERA)
+            session = TraceSession.attach_to_context(ctx)
+            if kill:
+                plan = FaultPlan(kills=[KillSpec("shuffle", 1, 0)], seed=3)
+                FaultInjector.attach(plan, ctx)
+            rdd = build_pipeline(ctx, records, steps)
+            result = ctx.scheduler.run_action(rdd, "collect")
+            return {
+                "result": sorted(result, key=repr),
+                "checksums": action_checksums({"collect": result}),
+                "elapsed": repr(ctx.machine.elapsed_s),
+                "events": [repr(e) for e in session.events],
+            }
+
+        assert _under_plane(False, run) == _under_plane(True, run)
+
+
+# -- satellite: scale-sweep mechanics and bench_compare kinds --------------
+
+
+class TestScaleSweep:
+    def test_tiny_real_sweep_emits_records_and_summary(self):
+        from repro.bench import run_scale_sweep
+
+        lines = []
+        records = run_scale_sweep(
+            scales=(0.01, 0.02),
+            cells=[("PR", PolicyName.PANTHERA)],
+            log=lines.append,
+        )
+        assert [r["kind"] for r in records] == [
+            "sweep", "sweep", "sweep_summary"
+        ]
+        assert records[0]["name"] == "sweep.PR.panthera.s0.01"
+        assert records[1]["name"] == "sweep.PR.panthera.s0.02"
+        assert all(r["wall_s"] > 0 for r in records[:2])
+        assert all(r["sim_s"] > 0 for r in records[:2])
+        summary = records[2]
+        assert summary["name"] == "sweep.PR.panthera.linearity"
+        # Base is the scale closest to 1.0 — here the top scale itself,
+        # so the ratio degenerates to exactly 1.0.
+        assert summary["base_scale"] == 0.02
+        assert summary["top_scale"] == 0.02
+        assert summary["per_record_ratio"] == pytest.approx(1.0)
+        assert summary["linear"] is True
+        assert len(lines) == 3
+
+    def test_summary_flags_superlinear_growth(self, monkeypatch):
+        import repro.bench as bench
+
+        def fake_cell(workload, policy, scale):
+            return {
+                "name": f"sweep.{workload}.{policy.value}.s{scale:g}",
+                "kind": "sweep",
+                "scale": scale,
+                "wall_s": scale * scale,  # quadratic wall time
+                "sim_s": 1.0,
+                "sim_per_wall": 1.0,
+                "n_records": int(1000 * scale),
+                "wall_us_per_record": scale * 1000.0,
+            }
+
+        monkeypatch.setattr(bench, "run_sweep_cell", fake_cell)
+        records = bench.run_scale_sweep(
+            scales=(1.0, 10.0), cells=[("PR", PolicyName.PANTHERA)]
+        )
+        summary = records[-1]
+        assert summary["kind"] == "sweep_summary"
+        assert summary["per_record_ratio"] == pytest.approx(10.0)
+        assert summary["linear"] is False
+
+    def test_summary_accepts_linear_growth(self, monkeypatch):
+        import repro.bench as bench
+
+        def fake_cell(workload, policy, scale):
+            return {
+                "name": f"sweep.{workload}.{policy.value}.s{scale:g}",
+                "kind": "sweep",
+                "scale": scale,
+                "wall_s": scale,
+                "sim_s": 1.0,
+                "sim_per_wall": 1.0,
+                "n_records": int(1000 * scale),
+                "wall_us_per_record": 1.0,  # flat per-record cost
+            }
+
+        monkeypatch.setattr(bench, "run_sweep_cell", fake_cell)
+        records = bench.run_scale_sweep(
+            scales=(0.1, 1.0, 10.0), cells=[("CC", PolicyName.PANTHERA)]
+        )
+        assert records[-1]["linear"] is True
+        assert records[-1]["per_record_ratio"] == pytest.approx(1.0)
+
+
+class TestBenchCompareSweepKinds:
+    @staticmethod
+    def _doc(*benchmarks):
+        return {"schema": 1, "benchmarks": list(benchmarks)}
+
+    def test_sweep_wall_regression_flagged(self):
+        from repro.bench import compare_documents
+
+        base = self._doc(
+            {"name": "sweep.PR.panthera.s10", "kind": "sweep", "wall_s": 1.0}
+        )
+        curr = self._doc(
+            {"name": "sweep.PR.panthera.s10", "kind": "sweep", "wall_s": 1.5}
+        )
+        report = compare_documents(base, curr, tolerance=0.20)
+        assert report.regressions == ["sweep.PR.panthera.s10"]
+
+    def test_sweep_summary_compares_machine_independent_ratio(self):
+        from repro.bench import compare_documents
+
+        base = self._doc(
+            {"name": "sweep.PR.panthera.linearity", "kind": "sweep_summary",
+             "per_record_ratio": 1.0, "wall_s": 123.0}
+        )
+        curr = self._doc(
+            {"name": "sweep.PR.panthera.linearity", "kind": "sweep_summary",
+             "per_record_ratio": 1.6, "wall_s": 0.001}
+        )
+        report = compare_documents(base, curr, tolerance=0.20)
+        assert report.regressions == ["sweep.PR.panthera.linearity"]
+        improved = compare_documents(curr, base, tolerance=0.20)
+        assert improved.improvements == ["sweep.PR.panthera.linearity"]

@@ -389,7 +389,7 @@ class TestBenchCli:
         monkeypatch.setattr(
             bench,
             "run_bench_suite",
-            lambda quick=False, rounds=None, log=None: document,
+            lambda quick=False, rounds=None, log=None, scale_sweep=False: document,
         )
         return document
 
