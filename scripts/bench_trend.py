@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Render a benchmark trend table from a sequence of ``repro bench`` runs.
+
+``scripts/bench_compare.py`` answers "did this run regress against the
+baseline?"; this script answers "how has each benchmark moved across
+runs?".  It takes any number of ``BENCH_*.json`` documents (ordered
+oldest to newest — typically the committed baseline followed by the
+current CI run), lines their benchmarks up by name, and renders one
+markdown table per benchmark kind with a column per document and a
+final delta column (newest vs oldest).  The CI ``bench`` job uploads
+the rendered table next to ``BENCH_ci.json`` so perf movement is
+visible across PRs, not just against the single baseline document.
+
+Usage::
+
+    python scripts/bench_trend.py BASELINE.json [MORE.json ...] \
+        [--out benchmarks/results/TREND.md]
+
+With ``--out -`` (the default) the table is written to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Benchmark kind -> (metric key, human unit).  Matches the metrics
+#: ``scripts/bench_compare.py`` gates on.
+TREND_METRICS: Dict[str, Tuple[str, str]] = {
+    "micro": ("per_iter_us", "us/iter"),
+    "experiment": ("wall_s", "wall s"),
+    "sweep": ("wall_s", "wall s"),
+    "sweep_summary": ("per_record_ratio", "x growth"),
+}
+
+KIND_TITLES: Dict[str, str] = {
+    "micro": "Microbenchmarks",
+    "experiment": "Experiment cells",
+    "sweep": "Scale sweep",
+    "sweep_summary": "Scale-sweep linearity",
+}
+
+
+def _label(document: Dict[str, Any], path: str) -> str:
+    """Column label for one document: its created date, else the path."""
+    created = document.get("created", "")
+    return str(created).split("T")[0] if created else path
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.4g}"
+
+
+def _delta(first: Optional[float], last: Optional[float]) -> str:
+    if first is None or last is None or first <= 0:
+        return "-"
+    return f"{(last / first - 1.0) * 100.0:+.1f}%"
+
+
+def render_trend(documents: Sequence[Dict[str, Any]], labels: Sequence[str]) -> str:
+    """Render the markdown trend document for ``documents`` (oldest
+    first).  Benchmarks are grouped by kind; a benchmark missing from a
+    document shows ``-`` in that column."""
+    by_kind: Dict[str, List[str]] = {}
+    values: Dict[Tuple[str, int], float] = {}
+    for index, document in enumerate(documents):
+        for record in document.get("benchmarks", []):
+            kind = record.get("kind", "")
+            if kind not in TREND_METRICS:
+                continue
+            name = record["name"]
+            names = by_kind.setdefault(kind, [])
+            if name not in names:
+                names.append(name)
+            metric, _unit = TREND_METRICS[kind]
+            if metric in record:
+                values[(name, index)] = float(record[metric])
+
+    lines = ["# Benchmark trend", ""]
+    lines.append(
+        f"{len(documents)} run(s), oldest to newest: "
+        + ", ".join(labels)
+        + ".  Delta compares the newest run against the oldest."
+    )
+    for kind, (metric, unit) in TREND_METRICS.items():
+        names = by_kind.get(kind)
+        if not names:
+            continue
+        lines.append("")
+        lines.append(f"## {KIND_TITLES[kind]} ({unit})")
+        lines.append("")
+        lines.append("| benchmark | " + " | ".join(labels) + " | delta |")
+        lines.append("|---" * (len(labels) + 2) + "|")
+        for name in names:
+            row = [values.get((name, index)) for index in range(len(documents))]
+            lines.append(
+                f"| {name} | "
+                + " | ".join(_fmt(v) for v in row)
+                + f" | {_delta(row[0], row[-1])} |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "documents",
+        nargs="+",
+        metavar="BENCH.json",
+        help="bench documents, oldest to newest",
+    )
+    parser.add_argument(
+        "--out",
+        default="-",
+        metavar="PATH",
+        help="output markdown path (default: stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    documents = []
+    labels = []
+    for path in args.documents:
+        with open(path) as fh:
+            document = json.load(fh)
+        documents.append(document)
+        labels.append(_label(document, path))
+
+    rendered = render_trend(documents, labels)
+    if args.out == "-":
+        sys.stdout.write(rendered)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(rendered)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -622,7 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--scale-sweep",
         action="store_true",
-        help="also run PR and CC cells across scales (0.02..10, or "
+        help="also run PR and CC cells across scales (0.02..100, or "
         "0.02..5 with --quick) and assert near-linear wall-time growth",
     )
     bench_parser.add_argument(

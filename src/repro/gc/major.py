@@ -48,9 +48,13 @@ def run_major_gc(collector) -> None:
     mark_traffic = TrafficSet()
     move_traffic = TrafficSet()
 
-    # Phase 1: mark.  Full trace over both generations.
+    # Phase 1: mark.  Full trace over both generations.  The mark issues
+    # nothing but visit charges, so under the vectorised plane the whole
+    # phase is one `visit_all` over the mark order — same sequence, same
+    # device first-touch order, one bulk settle.
     charges = ChargeAccumulator(mark_traffic)
-    visit = charges.visit
+    mark_order: list = []
+    note = mark_order.append if charges.vectorised else charges.visit
     visited: Set[HeapObject] = set()
     stack = list(heap.iter_roots())
     while stack:
@@ -58,11 +62,13 @@ def run_major_gc(collector) -> None:
         if obj in visited:
             continue
         visited.add(obj)
-        visit(obj)
+        note(obj)
         for child in obj.refs:
             _propagate_tag(obj, child)
             if child not in visited:
                 stack.append(child)
+    if mark_order:
+        charges.visit_all(mark_order)
     charges.flush()
 
     # Phase 2: sweep the old generation.  The dead list is sorted only
@@ -127,11 +133,7 @@ def run_major_gc(collector) -> None:
                 continue
             sliding = True
             old_pieces = space.traffic_split(old_addr, obj.size)
-            align = (
-                config.card_size
-                if (heap.card_padding and obj.is_array)
-                else None
-            )
+            align = config.card_size if (heap.card_padding and obj.is_array) else None
             if not space.place(obj, align_end_to=align):
                 raise GCError(f"compaction overflowed space {space.name}")
             obj.padded = align is not None
@@ -170,9 +172,7 @@ def run_major_gc(collector) -> None:
             src_space_name = obj.space.name
             src_device = obj.space.device_of(obj.addr)
         card_table.unregister(obj)
-        align = (
-            config.card_size if (heap.card_padding and obj.is_array) else None
-        )
+        align = config.card_size if (heap.card_padding and obj.is_array) else None
         if not dst_space.place(obj, align_end_to=align):
             continue  # destination filled up; skip the rest of the group
         for device, nbytes in src_pieces:

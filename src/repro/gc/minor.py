@@ -83,7 +83,14 @@ def run_minor_gc(collector) -> None:
     fresh = stuck = None
     if roots or card_table.pending_scan():
         charges = ChargeAccumulator(scan_traffic)
-        visit = charges.visit
+        # The vectorised plane defers visit charges into `pending` and
+        # settles each segment with one bulk `visit_all` call; segments
+        # end wherever a non-visit charge (a holder's stream_read) comes
+        # next, so the charge sequence — and with it the device
+        # first-touch order — matches the per-object path exactly.  The
+        # scalar plane charges inline, the historical call pattern.
+        pending: List[HeapObject] = []
+        note = pending.append if charges.vectorised else charges.visit
 
         def trace_young(entry: HeapObject) -> None:
             """Trace the young subgraph reachable from ``entry``."""
@@ -94,7 +101,7 @@ def run_minor_gc(collector) -> None:
                     continue
                 visited.add(obj)
                 young_live.append(obj)
-                visit(obj)
+                note(obj)
                 for child in obj.refs:
                     if in_young(child):
                         _propagate_tag(obj, child)
@@ -105,9 +112,12 @@ def run_minor_gc(collector) -> None:
         # young roots are traced.  Root objects with MEMORY_BITS set by
         # rdd_alloc are recognised here (§4.2.2's modified root-task).
         for root in roots:
-            visit(root)
+            note(root)
             if in_young(root):
                 trace_young(root)
+        if pending:
+            charges.visit_all(pending)
+            pending.clear()
 
         # Phase 2: old-to-young card scan (deterministic order).
         fresh, stuck = card_table.scan_plan()
@@ -121,6 +131,9 @@ def run_minor_gc(collector) -> None:
                     if in_young(child):
                         _propagate_tag(holder, child)
                         trace_young(child)
+                if pending:
+                    charges.visit_all(pending)
+                    pending.clear()
         charges.flush()
 
     # Phase 3: copy / promote (skipped outright when nothing survived —

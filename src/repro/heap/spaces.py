@@ -230,7 +230,17 @@ class Space:
         return self._array_count
 
     def device_histogram(self) -> Dict[DeviceKind, int]:
-        """Payload bytes per backing device for the resident objects."""
+        """Payload bytes per backing device for the resident objects.
+
+        Homogeneous spaces answer in O(1) from the incremental
+        ``live_bytes`` counter — every resident's traffic lands on the
+        one backing device, so the histogram is the counter (or empty
+        when nothing is resident, matching the per-object loop, which
+        never emits zero-byte pieces).  Chunked spaces still walk their
+        residents to split each payload across the chunk boundary.
+        """
+        if self.device is not None:
+            return {self.device: self._live_bytes} if self._live_bytes else {}
         hist: Dict[DeviceKind, int] = {}
         for obj in self.objects:
             for device, nbytes in self.object_traffic(obj):

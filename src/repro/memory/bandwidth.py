@@ -80,6 +80,42 @@ class BandwidthTracker:
             if overlap > 0:
                 bins[idx] += nbytes * (overlap / duration_ns)
 
+    def record_rows(
+        self,
+        rows: List[Tuple[DeviceKind, bool, float, float, float]],
+    ) -> None:
+        """Record a sequence of accesses in one call.
+
+        Each row is ``(device, is_write, nbytes, start_ns, duration_ns)``
+        and is deposited with exactly :meth:`record`'s per-row window
+        arithmetic, in row order — so bin values (float accumulation
+        order matters) and bin-key insertion order match the equivalent
+        sequence of single calls.  The bulk entry point exists to hoist
+        the tracker's attribute lookups out of the hot wave-settling
+        loop of the vectorised cost plane.
+        """
+        bins_map = self._bins
+        window_ns = self.window_ns
+        for device, is_write, nbytes, start_ns, duration_ns in rows:
+            if nbytes <= 0:
+                continue
+            bins = bins_map[(device, is_write)]
+            if duration_ns < 1.0:  # sub-nanosecond: effectively instantaneous
+                bins[int(start_ns // window_ns)] += nbytes
+                continue
+            end_ns = start_ns + duration_ns
+            first = int(start_ns // window_ns)
+            last = int(end_ns // window_ns)
+            if first == last:
+                bins[first] += nbytes * ((end_ns - start_ns) / duration_ns)
+                continue
+            for idx in range(first, last + 1):
+                w_start = idx * window_ns
+                w_end = w_start + window_ns
+                overlap = min(end_ns, w_end) - max(start_ns, w_start)
+                if overlap > 0:
+                    bins[idx] += nbytes * (overlap / duration_ns)
+
     def series(self, device: DeviceKind, is_write: bool) -> List[BandwidthSample]:
         """Return the bandwidth series for one device and direction.
 

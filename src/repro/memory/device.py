@@ -102,6 +102,38 @@ class MemoryDevice:
         )
         return max(latency_ns, bandwidth_ns)
 
+    def charge_row(
+        self,
+        read_bytes: float,
+        write_bytes: float,
+        random_reads: int,
+        random_writes: int,
+        parallelism: int,
+    ) -> float:
+        """Duration of a batch *and* its counter update, in one call.
+
+        Exactly :meth:`batch_ns` followed by :meth:`record` — the
+        vectorised cost plane settles shuffle-wave rows through this to
+        shave one method dispatch per row off the hot loop.
+        ``parallelism`` is :meth:`batch_ns`'s ``max(1, threads) *
+        max(1, mlp)``, hoisted out of the per-row path (it is constant
+        across a wave).
+        """
+        latency_ns = (
+            random_reads * self._read_latency_ns
+            + random_writes * self._write_latency_ns
+        ) / parallelism
+        bandwidth_ns = (
+            read_bytes / self._bytes_per_ns_read
+            + write_bytes / self._bytes_per_ns_write
+        )
+        counters = self.counters
+        counters.random_reads += random_reads
+        counters.random_writes += random_writes
+        counters.read_bytes += read_bytes + random_reads * CACHE_LINE_BYTES
+        counters.write_bytes += write_bytes + random_writes * CACHE_LINE_BYTES
+        return latency_ns if latency_ns > bandwidth_ns else bandwidth_ns
+
     def record(
         self,
         read_bytes: float = 0.0,

@@ -123,9 +123,7 @@ def plan_emulation(
     )
 
 
-def inject_delays(
-    stall_ns_per_epoch: List[float], plan: EmulationPlan
-) -> List[float]:
+def inject_delays(stall_ns_per_epoch: List[float], plan: EmulationPlan) -> List[float]:
     """Quartz's per-epoch delay injection.
 
     Each epoch whose measured stall time is ``S`` gets an injected delay
@@ -152,9 +150,7 @@ def emulated_epoch_times(
     return [epoch_ns + delay for delay in delays]
 
 
-def emulation_error(
-    plan: EmulationPlan, target: DeviceSpec = NVM_SPEC
-) -> dict:
+def emulation_error(plan: EmulationPlan, target: DeviceSpec = NVM_SPEC) -> dict:
     """How far the emulated device is from the target (the accuracy
     check researchers run against real Quartz)."""
     return {

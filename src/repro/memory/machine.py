@@ -91,9 +91,7 @@ class TrafficSet:
 
     __slots__ = ("per_device",)
 
-    def __init__(
-        self, per_device: Optional[Dict[DeviceKind, Traffic]] = None
-    ) -> None:
+    def __init__(self, per_device: Optional[Dict[DeviceKind, Traffic]] = None) -> None:
         self.per_device: Dict[DeviceKind, Traffic] = (
             {} if per_device is None else per_device
         )
@@ -126,9 +124,7 @@ class Machine:
         bandwidth: windowed traces for Figure 8.
     """
 
-    def __init__(
-        self, config: SystemConfig, bandwidth_window_ns: float = 1e9
-    ) -> None:
+    def __init__(self, config: SystemConfig, bandwidth_window_ns: float = 1e9) -> None:
         self.config = config
         self.clock = SimClock()
         nvm_spec = NVM_SPEC
@@ -152,6 +148,11 @@ class Machine:
             DeviceKind.DISK: MemoryDevice(DISK_SPEC, 0),
         }
         self.bandwidth = BandwidthTracker(window_ns=bandwidth_window_ns)
+        #: device -> bound charge_row, resolved once (devices are fixed
+        #: for the machine's lifetime); run_rows' per-row dispatch.
+        self._row_charger = {
+            kind: dev.charge_row for kind, dev in self.devices.items()
+        }
         self._energy = EnergyMeter(
             self.devices, static_factor=config.static_energy_factor
         )
@@ -226,6 +227,76 @@ class Machine:
                 self.bandwidth.record(kind, True, write_total, start_ns, duration)
         self.clock.advance(duration)
         return duration
+
+    def run_rows(
+        self,
+        rows,
+        threads: int = 1,
+        mlp: Optional[int] = None,
+    ) -> float:
+        """Charge a sequence of single-device accesses back to back.
+
+        Each row is ``(device, read_bytes, write_bytes, random_reads,
+        random_writes, cpu_ns)``.  Equivalent to one :meth:`access` call
+        per row — the same per-row duration arithmetic, the same clock
+        advances, counter updates and bandwidth-window deposits in the
+        same order — with the per-call scaffolding (a ``Traffic``, a
+        dict, two loops) fused into a single loop and the bandwidth
+        deposits settled through one
+        :meth:`~repro.memory.bandwidth.BandwidthTracker.record_rows`
+        call.  The vectorised cost plane settles shuffle waves through
+        this; ``tests/test_costplane.py`` proves the equivalence.
+
+        Returns:
+            The clock advance across all rows, in nanoseconds.
+        """
+        effective_mlp = self.config.mlp if mlp is None else mlp
+        parallelism = max(1, threads) * max(1, effective_mlp)
+        chargers = self._row_charger
+        clock = self.clock
+        nvm = DeviceKind.NVM
+        throttle = self.nvm_throttle
+        bw_rows = []
+        bw_append = bw_rows.append
+        # The clock accumulates locally with the same per-row `+=`
+        # sequence advance() would perform, then lands in one write —
+        # bit-identical floats, one attribute store instead of one
+        # method call per row.
+        start = now = clock.now_ns
+        for (
+            device,
+            read_bytes,
+            write_bytes,
+            random_reads,
+            random_writes,
+            cpu_ns,
+        ) in rows:
+            duration = float(cpu_ns)
+            if read_bytes or write_bytes or random_reads or random_writes:
+                device_ns = chargers[device](
+                    read_bytes,
+                    write_bytes,
+                    random_reads,
+                    random_writes,
+                    parallelism,
+                )
+                if device is nvm and throttle is not None:
+                    device_ns = throttle.apply(now, device_ns)
+                if device_ns > duration:
+                    duration = device_ns
+                read_total = read_bytes + random_reads * 64
+                write_total = write_bytes + random_writes * 64
+                if read_total > 0:
+                    bw_append((device, False, read_total, now, duration))
+                if write_total > 0:
+                    bw_append((device, True, write_total, now, duration))
+            if duration < 0:
+                raise ValueError(f"cannot advance the clock by {duration} ns")
+            now += duration
+        clock._now_ns = now
+        if bw_rows:
+            self.bandwidth.record_rows(bw_rows)
+        return now - start
 
     def access(
         self,

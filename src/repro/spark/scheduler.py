@@ -24,6 +24,7 @@ from repro.config import DeviceKind
 from repro.core.lineage_propagation import propagate_tags
 from repro.core.tags import MemoryTag
 from repro.errors import OutOfMemoryError, SparkError
+from repro.gc import charging as _charging
 from repro.heap.object_model import ObjKind
 from repro.spark.materialize import MaterializedBlock
 from repro.spark import partition as _partition
@@ -169,12 +170,19 @@ class Scheduler:
         threads = self.ctx.config.mutator_threads
         n_out = dep.partitioner.num_partitions
         buckets: List[List[Record]] = [[] for _ in range(n_out)]
+        # Under the vectorised cost plane each partition's machine
+        # charges (the combine probe and the spill write) settle as one
+        # run_rows wave; the rows replay access()'s arithmetic row by
+        # row, and nothing between them touches the machine, so clocks,
+        # counters and bandwidth windows stay byte-identical.
+        vectorised = _charging.VECTORISED_COST_PLANE
         self._push_scope()
         try:
             for pidx in range(dep.parent.num_partitions):
                 records = self.get_records(dep.parent, pidx)
                 in_bytes = len(records) * dep.parent.bytes_per_record
                 n_records = len(records)
+                rows = []
                 if dep.map_side_combine is not None or dep.map_side_aggregate is not None:
                     if dep.map_side_aggregate is not None:
                         records = dep.map_side_aggregate(records)
@@ -201,23 +209,48 @@ class Scheduler:
                         # the legacy plane built held identical tuples.
                         records = combined.items()
                         n_records = len(combined)
-                    self.ctx.machine.access(
-                        DeviceKind.DRAM,
-                        random_reads=costs.hash_probes_for(in_bytes),
-                        threads=threads,
-                        cpu_ns=in_bytes * costs.cpu_ns_per_byte / threads,
-                    )
+                    if vectorised:
+                        rows.append(
+                            (
+                                DeviceKind.DRAM,
+                                0.0,
+                                0.0,
+                                costs.hash_probes_for(in_bytes),
+                                0,
+                                in_bytes * costs.cpu_ns_per_byte / threads,
+                            )
+                        )
+                    else:
+                        self.ctx.machine.access(
+                            DeviceKind.DRAM,
+                            random_reads=costs.hash_probes_for(in_bytes),
+                            threads=threads,
+                            cpu_ns=in_bytes * costs.cpu_ns_per_byte / threads,
+                        )
                 dep.partitioner.bucket_into(records, buckets)
                 out_bytes = (
                     n_records * dep.parent.bytes_per_record * dep.combine_factor
                 )
                 ser_bytes = out_bytes * costs.ser_factor
-                self.ctx.machine.access(
-                    DeviceKind.DISK,
-                    write_bytes=ser_bytes,
-                    threads=threads,
-                    cpu_ns=out_bytes * costs.cpu_ns_per_byte / threads,
-                )
+                if vectorised:
+                    rows.append(
+                        (
+                            DeviceKind.DISK,
+                            0.0,
+                            ser_bytes,
+                            0,
+                            0,
+                            out_bytes * costs.cpu_ns_per_byte / threads,
+                        )
+                    )
+                    self.ctx.machine.run_rows(rows, threads=threads)
+                else:
+                    self.ctx.machine.access(
+                        DeviceKind.DISK,
+                        write_bytes=ser_bytes,
+                        threads=threads,
+                        cpu_ns=out_bytes * costs.cpu_ns_per_byte / threads,
+                    )
         finally:
             self._pop_scope()
         bpr = dep.parent.bytes_per_record * dep.combine_factor
@@ -450,6 +483,24 @@ class Scheduler:
         ser_bytes = self.ctx.shuffles.serialized_bytes(dep.shuffle_id, pidx)
         raw_bytes = ser_bytes / costs.ser_factor if costs.ser_factor else ser_bytes
         self._ephemeral(raw_bytes)
+        if _charging.VECTORISED_COST_PLANE:
+            # Disk read + DRAM landing settle as one two-row wave — the
+            # rows are back-to-back accesses with nothing between them.
+            self.ctx.machine.run_rows(
+                (
+                    (
+                        DeviceKind.DISK,
+                        ser_bytes,
+                        0.0,
+                        0,
+                        0,
+                        raw_bytes * costs.cpu_ns_per_byte / threads,
+                    ),
+                    (DeviceKind.DRAM, 0.0, raw_bytes, 0, 0, 0.0),
+                ),
+                threads=threads,
+            )
+            return records
         self.ctx.machine.access(
             DeviceKind.DISK,
             read_bytes=ser_bytes,
@@ -554,6 +605,22 @@ class Scheduler:
         threads = self.ctx.config.mutator_threads
         nbytes = len(records) * rdd.bytes_per_record
         self._ephemeral(nbytes)
+        if _charging.VECTORISED_COST_PLANE:
+            self.ctx.machine.run_rows(
+                (
+                    (
+                        DeviceKind.DISK,
+                        nbytes,
+                        0.0,
+                        0,
+                        0,
+                        nbytes * costs.source_cpu_ns_per_byte / threads,
+                    ),
+                    (DeviceKind.DRAM, 0.0, nbytes, 0, 0, 0.0),
+                ),
+                threads=threads,
+            )
+            return
         self.ctx.machine.access(
             DeviceKind.DISK,
             read_bytes=nbytes,

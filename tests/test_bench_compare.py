@@ -1,0 +1,215 @@
+"""Tests for ``scripts/bench_compare.py`` and ``scripts/bench_trend.py``.
+
+The compare script gates main; until now nothing pinned its tolerance
+arithmetic, ``--advisory`` exit behaviour, missing-key handling or the
+``sweep_summary`` linearity ratios.  Fixtures are small synthetic
+``BENCH_*.json`` documents, so these tests are immune to machine speed.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import compare_documents
+
+_SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+def _load_script(name):
+    spec = importlib.util.spec_from_file_location(name, _SCRIPTS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+bench_compare = _load_script("bench_compare")
+bench_trend = _load_script("bench_trend")
+
+
+def _doc(records, created="2026-01-01T00:00:00"):
+    return {"schema": 1, "created": created, "benchmarks": records}
+
+
+def _micro(name, per_iter_us):
+    return {"name": name, "kind": "micro", "per_iter_us": per_iter_us}
+
+
+def _experiment(name, wall_s):
+    return {"name": name, "kind": "experiment", "wall_s": wall_s}
+
+
+def _summary(name, ratio):
+    return {"name": name, "kind": "sweep_summary", "per_record_ratio": ratio}
+
+
+def _write(tmp_path, name, document):
+    path = tmp_path / name
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+class TestCompareDocuments:
+    def test_within_tolerance_is_ok(self):
+        report = compare_documents(
+            _doc([_micro("micro.a", 10.0)]),
+            _doc([_micro("micro.a", 11.5)]),
+            tolerance=0.20,
+        )
+        assert report.regressions == []
+        assert report.improvements == []
+        assert any("micro.a" in line and "ok" in line for line in report.lines)
+
+    def test_beyond_tolerance_regresses(self):
+        report = compare_documents(
+            _doc([_micro("micro.a", 10.0)]),
+            _doc([_micro("micro.a", 12.5)]),
+            tolerance=0.20,
+        )
+        assert report.regressions == ["micro.a"]
+
+    def test_tolerance_boundary_is_inclusive(self):
+        # ratio == 1 + tolerance exactly: not a regression (strict >).
+        report = compare_documents(
+            _doc([_micro("micro.a", 10.0)]),
+            _doc([_micro("micro.a", 12.0)]),
+            tolerance=0.20,
+        )
+        assert report.regressions == []
+
+    def test_speedup_beyond_tolerance_reports_improvement(self):
+        report = compare_documents(
+            _doc([_micro("micro.a", 10.0)]),
+            _doc([_micro("micro.a", 5.0)]),
+            tolerance=0.20,
+        )
+        assert report.improvements == ["micro.a"]
+        assert report.regressions == []
+
+    def test_missing_baseline_entry_is_skipped_not_failed(self):
+        report = compare_documents(
+            _doc([]), _doc([_micro("micro.new", 10.0)]), tolerance=0.20
+        )
+        assert report.regressions == []
+        assert any(
+            "micro.new" in line and "no baseline" in line
+            for line in report.lines
+        )
+
+    def test_missing_current_entry_is_reported(self):
+        report = compare_documents(
+            _doc([_micro("micro.gone", 10.0)]), _doc([]), tolerance=0.20
+        )
+        assert report.regressions == []
+        assert any(
+            "micro.gone" in line and "missing from current run" in line
+            for line in report.lines
+        )
+
+    def test_unknown_kind_and_missing_metric_key_are_skipped(self):
+        baseline = _doc([{"name": "odd", "kind": "mystery", "wall_s": 1.0}])
+        current = _doc(
+            [
+                {"name": "odd", "kind": "mystery", "wall_s": 9.0},
+                {"name": "micro.nokey", "kind": "micro"},
+            ]
+        )
+        report = compare_documents(baseline, current, tolerance=0.20)
+        assert report.regressions == []
+
+    def test_zero_baseline_metric_is_unusable_not_a_crash(self):
+        report = compare_documents(
+            _doc([_micro("micro.a", 0.0)]),
+            _doc([_micro("micro.a", 5.0)]),
+            tolerance=0.20,
+        )
+        assert report.regressions == []
+        assert any("unusable baseline" in line for line in report.lines)
+
+    def test_sweep_summary_gates_on_the_linearity_ratio(self):
+        baseline = _doc([_summary("sweep.PR.panthera.linearity", 1.1)])
+        worse = _doc([_summary("sweep.PR.panthera.linearity", 1.7)])
+        report = compare_documents(baseline, worse, tolerance=0.20)
+        assert report.regressions == ["sweep.PR.panthera.linearity"]
+        same = _doc([_summary("sweep.PR.panthera.linearity", 1.15)])
+        assert compare_documents(baseline, same, tolerance=0.20).regressions == []
+
+    def test_experiments_gate_on_wall_seconds(self):
+        report = compare_documents(
+            _doc([_experiment("experiment.PR.panthera", 1.0)]),
+            _doc([_experiment("experiment.PR.panthera", 2.5)]),
+            tolerance=1.0,
+        )
+        assert report.regressions == ["experiment.PR.panthera"]
+
+
+class TestBenchCompareCli:
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        baseline = _write(tmp_path, "base.json", _doc([_micro("micro.a", 10.0)]))
+        current = _write(tmp_path, "cur.json", _doc([_micro("micro.a", 20.0)]))
+        assert bench_compare.main([baseline, current]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_advisory_reports_but_exits_zero(self, tmp_path, capsys):
+        baseline = _write(tmp_path, "base.json", _doc([_micro("micro.a", 10.0)]))
+        current = _write(tmp_path, "cur.json", _doc([_micro("micro.a", 20.0)]))
+        assert bench_compare.main([baseline, current, "--advisory"]) == 0
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_custom_tolerance_waves_the_regression_through(self, tmp_path):
+        baseline = _write(tmp_path, "base.json", _doc([_micro("micro.a", 10.0)]))
+        current = _write(tmp_path, "cur.json", _doc([_micro("micro.a", 20.0)]))
+        assert bench_compare.main([baseline, current, "--tolerance", "1.5"]) == 0
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        baseline = _write(tmp_path, "base.json", _doc([_micro("micro.a", 10.0)]))
+        current = _write(tmp_path, "cur.json", _doc([_micro("micro.a", 10.1)]))
+        assert bench_compare.main([baseline, current]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+
+class TestBenchTrend:
+    def test_renders_one_table_per_kind_with_delta(self, tmp_path):
+        old = _doc(
+            [
+                _micro("micro.a", 10.0),
+                _experiment("experiment.PR.panthera", 1.0),
+                _summary("sweep.PR.panthera.linearity", 1.2),
+            ],
+            created="2026-01-01T00:00:00",
+        )
+        new = _doc(
+            [
+                _micro("micro.a", 5.0),
+                _experiment("experiment.PR.panthera", 1.5),
+                _summary("sweep.PR.panthera.linearity", 1.2),
+            ],
+            created="2026-02-01T00:00:00",
+        )
+        rendered = bench_trend.render_trend([old, new], ["2026-01-01", "2026-02-01"])
+        assert "## Microbenchmarks (us/iter)" in rendered
+        assert "## Experiment cells (wall s)" in rendered
+        assert "## Scale-sweep linearity (x growth)" in rendered
+        assert "| micro.a | 10 | 5 | -50.0% |" in rendered
+        assert "| experiment.PR.panthera | 1 | 1.5 | +50.0% |" in rendered
+
+    def test_benchmark_missing_from_one_run_renders_dash(self, tmp_path):
+        old = _doc([_micro("micro.a", 10.0)])
+        new = _doc([_micro("micro.a", 10.0), _micro("micro.b", 3.0)])
+        rendered = bench_trend.render_trend([old, new], ["old", "new"])
+        assert "| micro.b | - | 3 | - |" in rendered
+
+    def test_cli_writes_the_output_file(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _doc([_micro("micro.a", 10.0)]))
+        out = tmp_path / "TREND.md"
+        assert bench_trend.main([base, "--out", str(out)]) == 0
+        assert out.read_text().startswith("# Benchmark trend")
+
+    def test_cli_defaults_to_stdout(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _doc([_micro("micro.a", 10.0)]))
+        assert bench_trend.main([base]) == 0
+        assert capsys.readouterr().out.startswith("# Benchmark trend")

@@ -1,0 +1,436 @@
+"""Tests for the vectorised cost plane (``VECTORISED_COST_PLANE``).
+
+Covers the column-charging overhaul behind ``charging.VECTORISED_COST_PLANE``:
+``ChargeColumns`` reduction exactness and first-touch ordering (numpy and
+``array``-module fallback), the two-row coalescing of the charge
+primitives, ``Machine.run_rows`` equivalence with per-call ``access``,
+the environment-variable override, and A/B byte-identity — simulated
+time, GC logs, bandwidth series, trace streams and fault checksums — on
+traced + faulted experiment cells and random hypothesis pipelines.
+"""
+
+import os
+import subprocess
+import sys
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import CACHE_LINE_BYTES, PolicyName, DeviceKind
+from repro.faults import FaultInjector, FaultPlan, KillSpec, action_checksums
+from repro.gc import charging as _charging
+from repro.gc.charging import (
+    KIND_RANDOM_READ,
+    KIND_READ,
+    KIND_WRITE,
+    ChargeAccumulator,
+    ChargeColumns,
+)
+from repro.gc.gclog import render_log
+from repro.harness.configs import paper_config
+from repro.harness.experiment import run_experiment
+from repro.heap.object_model import HEADER_BYTES
+from repro.memory.machine import Machine, TrafficSet
+from repro.trace import TraceSession
+from tests.conftest import small_config, small_context
+from tests.test_properties_spark import DATASET, STEP, build_pipeline
+
+
+def _under_costplane(vectorised, fn):
+    """Call ``fn()`` with the cost-plane flag set to ``vectorised``."""
+    saved = _charging.VECTORISED_COST_PLANE
+    _charging.VECTORISED_COST_PLANE = vectorised
+    try:
+        return fn()
+    finally:
+        _charging.VECTORISED_COST_PLANE = saved
+
+
+def _bandwidth_fingerprint(machine):
+    """Every bandwidth series, repr'd: float bins make byte-identity
+    visible (any reordering of float adds would change some repr)."""
+    return {
+        (device.value, is_write): repr(machine.bandwidth.series(device, is_write))
+        for device in DeviceKind
+        for is_write in (False, True)
+    }
+
+
+# -- ChargeColumns: reduction exactness and ordering -----------------------
+
+
+def _dram_base():
+    return _charging._DEV_BASE[DeviceKind.DRAM]
+
+
+def _nvm_base():
+    return _charging._DEV_BASE[DeviceKind.NVM]
+
+
+class TestChargeColumns:
+    def test_reduce_sums_by_device_and_kind(self):
+        cols = ChargeColumns()
+        base = _dram_base()
+        for code, amount in [
+            (base + KIND_READ, 100),
+            (base + KIND_WRITE, 7),
+            (base + KIND_READ, 23),
+            (base + KIND_RANDOM_READ, 5),
+        ]:
+            cols.codes.append(code)
+            cols.amounts.append(amount)
+        assert cols.reduce() == [(DeviceKind.DRAM, [123, 7, 5, 0])]
+
+    def test_first_touch_order_is_row_order(self):
+        cols = ChargeColumns()
+        for code in [_nvm_base(), _dram_base(), _nvm_base() + KIND_WRITE]:
+            cols.codes.append(code)
+            cols.amounts.append(1)
+        devices = [device for device, _ in cols.reduce()]
+        assert devices == [DeviceKind.NVM, DeviceKind.DRAM]
+
+    def test_clear_empties_but_keeps_buffer_objects(self):
+        cols = ChargeColumns()
+        codes_buf, amounts_buf = cols.codes, cols.amounts
+        cols.codes.append(_dram_base())
+        cols.amounts.append(9)
+        cols.clear()
+        assert len(cols) == 0
+        # The accumulator caches bound .append methods; clear() must
+        # empty in place, not rebind fresh arrays.
+        assert cols.codes is codes_buf and cols.amounts is amounts_buf
+
+    @pytest.mark.skipif(_charging._np is None, reason="numpy not available")
+    def test_numpy_and_fallback_reductions_agree(self, monkeypatch):
+        import random
+
+        rng = random.Random(42)
+        cols = ChargeColumns()
+        all_codes = [
+            base + kind
+            for base in (_dram_base(), _nvm_base())
+            for kind in (KIND_READ, KIND_WRITE, KIND_RANDOM_READ, 3)
+        ]
+        for _ in range(1000):
+            cols.codes.append(rng.choice(all_codes))
+            cols.amounts.append(rng.randrange(1, 10**12))
+        with_numpy = cols.reduce()
+        monkeypatch.setattr(_charging, "_np", None)
+        scalar = cols.reduce()
+        assert with_numpy == scalar
+
+    @pytest.mark.skipif(_charging._np is None, reason="numpy not available")
+    def test_numpy_reduce_is_integer_exact(self):
+        cols = ChargeColumns()
+        # 2**53 + 1 is not representable in float64: a float accumulator
+        # would round it away, the int64 accumulator must not.
+        big = 2**53 + 1
+        for _ in range(max(_charging._NUMPY_MIN_ROWS, 200)):
+            cols.codes.append(_dram_base())
+            cols.amounts.append(big)
+        [(device, entry)] = cols.reduce()
+        assert device is DeviceKind.DRAM
+        assert entry[KIND_READ] == big * max(_charging._NUMPY_MIN_ROWS, 200)
+
+
+# -- ChargeAccumulator: primitives vs the scalar oracle --------------------
+
+
+def _fake_obj(device, size=96):
+    space = SimpleNamespace(
+        device=device,
+        object_traffic=lambda obj: [(device, obj.size)],
+    )
+    return SimpleNamespace(space=space, addr=0x1000, size=size)
+
+
+def _dst_space(device, top=0x2000, end=0x3000):
+    return SimpleNamespace(device_of=lambda addr: device, top=top, end=end)
+
+
+def _drive(acc):
+    """One mixed charge sequence touching every primitive."""
+    dram_objs = [_fake_obj(DeviceKind.DRAM) for _ in range(20)]
+    nvm_objs = [_fake_obj(DeviceKind.NVM) for _ in range(3)]
+    for obj in dram_objs[:4]:
+        acc.visit(obj)
+    acc.visit_all(dram_objs + nvm_objs)  # long: run-grouping path
+    acc.visit_all(nvm_objs)  # short: per-object fallback path
+    acc.stream_read(_fake_obj(DeviceKind.NVM, size=4096))
+    for obj in dram_objs[:5]:
+        acc.copy([(DeviceKind.NVM, obj.size)], obj, _dst_space(DeviceKind.DRAM))
+    acc.read(DeviceKind.DISK, 512)
+    acc.write(DeviceKind.DISK, 128)
+    acc.write(DeviceKind.DRAM, 64)
+    acc.flush()
+
+
+def _traffic_fingerprint(traffic):
+    return [
+        (device.value, t.read_bytes, t.write_bytes, t.random_reads, t.random_writes)
+        for device, t in traffic.per_device.items()
+    ]
+
+
+class TestChargeAccumulator:
+    def test_vectorised_matches_scalar_totals_and_device_order(self):
+        fingerprints = {}
+        for vectorised in (False, True):
+            traffic = TrafficSet()
+            _drive(ChargeAccumulator(traffic, batched=True, vectorised=vectorised))
+            fingerprints[vectorised] = _traffic_fingerprint(traffic)
+        assert fingerprints[True] == fingerprints[False]
+
+    def test_per_charge_flushing_matches_too(self):
+        batched = TrafficSet()
+        _drive(ChargeAccumulator(batched, batched=True, vectorised=True))
+        unbatched = TrafficSet()
+        _drive(ChargeAccumulator(unbatched, batched=False))
+        assert _traffic_fingerprint(batched) == _traffic_fingerprint(unbatched)
+
+    def test_unbatched_accumulator_forces_the_scalar_path(self):
+        acc = ChargeAccumulator(TrafficSet(), batched=False, vectorised=True)
+        assert acc.vectorised is False
+
+    def test_defaults_follow_the_module_flags(self):
+        assert ChargeAccumulator(TrafficSet()).vectorised is (
+            _charging.VECTORISED_COST_PLANE and _charging.BATCHED_DEPOSITS
+        )
+        on = _under_costplane(True, lambda: ChargeAccumulator(TrafficSet()))
+        off = _under_costplane(False, lambda: ChargeAccumulator(TrafficSet()))
+        assert on.vectorised is True
+        assert off.vectorised is False
+
+    def test_visit_pair_merge_collapses_rows(self):
+        acc = ChargeAccumulator(TrafficSet(), batched=True, vectorised=True)
+        for obj in [_fake_obj(DeviceKind.DRAM) for _ in range(50)]:
+            acc.visit(obj)
+        # 50 visits on one device coalesce into one [header, random] pair.
+        assert len(acc._cols) == 2
+        acc.flush()
+        t = acc.traffic.per_device[DeviceKind.DRAM]
+        assert t.read_bytes == 50 * HEADER_BYTES
+        assert t.random_reads == 50
+
+    def test_copy_pair_merge_collapses_rows(self):
+        acc = ChargeAccumulator(TrafficSet(), batched=True, vectorised=True)
+        dst = _dst_space(DeviceKind.DRAM)
+        for _ in range(30):
+            obj = _fake_obj(DeviceKind.NVM, size=128)
+            acc.copy([(DeviceKind.NVM, 128)], obj, dst)
+        assert len(acc._cols) == 2
+        acc.flush()
+        assert acc.traffic.per_device[DeviceKind.NVM].read_bytes == 30 * 128
+        assert acc.traffic.per_device[DeviceKind.DRAM].write_bytes == 30 * 128
+
+    def test_flush_clears_and_is_idempotent(self):
+        acc = ChargeAccumulator(TrafficSet(), batched=True, vectorised=True)
+        acc.read(DeviceKind.DRAM, 10)
+        acc.flush()
+        acc.flush()
+        t = acc.traffic.per_device[DeviceKind.DRAM]
+        assert t.read_bytes == 10
+
+    def test_visit_all_long_path_matches_per_object(self, monkeypatch):
+        objs = [
+            _fake_obj([DeviceKind.DRAM, DeviceKind.NVM][i % 3 == 2])
+            for i in range(40)
+        ]
+        bulk = ChargeAccumulator(TrafficSet(), batched=True, vectorised=True)
+        bulk.visit_all(objs)
+        bulk.flush()
+        single = ChargeAccumulator(TrafficSet(), batched=True, vectorised=True)
+        for obj in objs:
+            single.visit(obj)
+        single.flush()
+        assert _traffic_fingerprint(bulk.traffic) == _traffic_fingerprint(
+            single.traffic
+        )
+
+
+# -- Machine.run_rows vs per-call access -----------------------------------
+
+
+_ROWS = [
+    (DeviceKind.DISK, 64 * 1024.0, 0.0, 0, 0, 500.0),
+    (DeviceKind.DRAM, 0.0, 48 * 1024.0, 0, 0, 0.0),
+    (DeviceKind.DRAM, 0.0, 0.0, 24, 0, 300.0),
+    (DeviceKind.NVM, 16 * 1024.0, 8 * 1024.0, 0, 4, 200.0),
+    (DeviceKind.NVM, 0.0, 0.0, 0, 0, 750.0),  # pure-CPU row
+]
+
+
+def _machine_fingerprint(machine):
+    return (
+        repr(machine.clock.now_ns),
+        {
+            kind.value: (
+                dev.counters.read_bytes,
+                dev.counters.write_bytes,
+                dev.counters.random_reads,
+                dev.counters.random_writes,
+            )
+            for kind, dev in machine.devices.items()
+        },
+        _bandwidth_fingerprint(machine),
+    )
+
+
+class TestRunRows:
+    def _fresh_machine(self):
+        return Machine(small_config(PolicyName.PANTHERA))
+
+    @pytest.mark.parametrize("threads,mlp", [(1, None), (8, None), (4, 2)])
+    def test_rows_match_sequential_access_calls(self, threads, mlp):
+        bulk = self._fresh_machine()
+        returned = bulk.run_rows(_ROWS * 7, threads=threads, mlp=mlp)
+        scalar = self._fresh_machine()
+        start = scalar.clock.now_ns
+        for device, rb, wb, rr, rw, cpu in _ROWS * 7:
+            scalar.access(
+                device,
+                read_bytes=rb,
+                write_bytes=wb,
+                random_reads=rr,
+                random_writes=rw,
+                threads=threads,
+                mlp=mlp,
+                cpu_ns=cpu,
+            )
+        assert _machine_fingerprint(bulk) == _machine_fingerprint(scalar)
+        assert repr(returned) == repr(scalar.clock.now_ns - start)
+
+    def test_rows_apply_the_nvm_throttle(self):
+        class Halver:
+            def apply(self, start_ns, device_ns):
+                return device_ns * 2.0
+
+        bulk = self._fresh_machine()
+        bulk.nvm_throttle = Halver()
+        bulk.run_rows(_ROWS, threads=2)
+        scalar = self._fresh_machine()
+        scalar.nvm_throttle = Halver()
+        for device, rb, wb, rr, rw, cpu in _ROWS:
+            scalar.access(
+                device,
+                read_bytes=rb,
+                write_bytes=wb,
+                random_reads=rr,
+                random_writes=rw,
+                threads=2,
+                cpu_ns=cpu,
+            )
+        assert _machine_fingerprint(bulk) == _machine_fingerprint(scalar)
+
+    def test_empty_rows_are_free(self):
+        machine = self._fresh_machine()
+        assert machine.run_rows([]) == 0.0
+        assert machine.clock.now_ns == 0.0
+
+    def test_negative_cpu_raises(self):
+        machine = self._fresh_machine()
+        with pytest.raises(ValueError):
+            machine.run_rows([(DeviceKind.DRAM, 0.0, 0.0, 0, 0, -1.0)])
+
+    def test_random_traffic_charges_cache_lines(self):
+        machine = self._fresh_machine()
+        machine.run_rows([(DeviceKind.DRAM, 0.0, 0.0, 5, 3, 0.0)])
+        counters = machine.devices[DeviceKind.DRAM].counters
+        assert counters.read_bytes == 5 * CACHE_LINE_BYTES
+        assert counters.write_bytes == 3 * CACHE_LINE_BYTES
+
+
+# -- the environment-variable override -------------------------------------
+
+
+class TestEnvOverride:
+    @pytest.mark.parametrize(
+        "value,expected", [("0", False), ("1", True), ("off", False)]
+    )
+    def test_flag_follows_the_environment(self, value, expected):
+        env = dict(os.environ, REPRO_VECTORISED_COST_PLANE=value)
+        env["PYTHONPATH"] = "src"
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.gc import charging; "
+                "print(charging.VECTORISED_COST_PLANE)",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.strip() == str(expected)
+
+
+# -- A/B byte-identity on traced + faulted cells ---------------------------
+
+
+class TestCostPlaneIdentity:
+    def _run_cell(self, workload):
+        config = paper_config(64, 1 / 3, PolicyName.PANTHERA, 0.01)
+        plan = FaultPlan(kills=[KillSpec("shuffle", 1, 0)], seed=7)
+        result = run_experiment(
+            workload,
+            config,
+            scale=0.01,
+            workload_kwargs={"iterations": 2},
+            keep_context=True,
+            trace=True,
+            faults=plan,
+        )
+        stats = result.context.collector.stats
+        return {
+            "elapsed": repr(result.elapsed_s),
+            "gclog": render_log(stats, result.elapsed_s, tail=50),
+            "checksums": action_checksums(result.action_results),
+            "events": [repr(e) for e in result.trace_events],
+            "bandwidth": _bandwidth_fingerprint(result.context.machine),
+        }
+
+    @pytest.mark.parametrize("workload", ["PR", "CC"])
+    def test_traced_faulted_cell_identical_either_plane(self, workload):
+        vectorised = _under_costplane(True, lambda: self._run_cell(workload))
+        scalar = _under_costplane(False, lambda: self._run_cell(workload))
+        assert vectorised["elapsed"] == scalar["elapsed"]
+        assert vectorised["gclog"] == scalar["gclog"]
+        assert vectorised["checksums"] == scalar["checksums"]
+        assert vectorised["events"] == scalar["events"]
+        assert vectorised["bandwidth"] == scalar["bandwidth"]
+
+
+class TestCostPlanePropertyAB:
+    """Random traced (and sometimes faulted) pipelines are byte-identical
+    under the scalar and vectorised cost planes."""
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        records=DATASET,
+        steps=st.lists(STEP, min_size=1, max_size=5),
+        kill=st.booleans(),
+    )
+    def test_random_pipelines_identical_across_planes(self, records, steps, kill):
+        def run():
+            ctx = small_context(PolicyName.PANTHERA)
+            session = TraceSession.attach_to_context(ctx)
+            if kill:
+                plan = FaultPlan(kills=[KillSpec("shuffle", 1, 0)], seed=3)
+                FaultInjector.attach(plan, ctx)
+            rdd = build_pipeline(ctx, records, steps)
+            result = ctx.scheduler.run_action(rdd, "collect")
+            return {
+                "result": sorted(result, key=repr),
+                "checksums": action_checksums({"collect": result}),
+                "elapsed": repr(ctx.machine.elapsed_s),
+                "events": [repr(e) for e in session.events],
+                "bandwidth": _bandwidth_fingerprint(ctx.machine),
+            }
+
+        assert _under_costplane(True, run) == _under_costplane(False, run)
