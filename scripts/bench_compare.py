@@ -7,7 +7,8 @@ Usage::
         [--advisory]
 
 Exits 1 when any benchmark's metric (per-iteration time for micros, wall
-time for experiments and sweep points, the per-record growth ratio for
+time for experiments, cluster replays and sweep points, the per-record
+growth ratio for
 ``sweep_summary`` records) exceeds the baseline by more than the
 tolerance — unless ``--advisory`` is given, in which case regressions
 are reported but the exit code stays 0.  Wall-clock baselines are

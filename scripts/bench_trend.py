@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 TREND_METRICS: Dict[str, Tuple[str, str]] = {
     "micro": ("per_iter_us", "us/iter"),
     "experiment": ("wall_s", "wall s"),
+    "cluster": ("wall_s", "wall s"),
     "sweep": ("wall_s", "wall s"),
     "sweep_summary": ("per_record_ratio", "x growth"),
 }
@@ -38,6 +39,7 @@ TREND_METRICS: Dict[str, Tuple[str, str]] = {
 KIND_TITLES: Dict[str, str] = {
     "micro": "Microbenchmarks",
     "experiment": "Experiment cells",
+    "cluster": "Cluster traffic replay",
     "sweep": "Scale sweep",
     "sweep_summary": "Scale-sweep linearity",
 }

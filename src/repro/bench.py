@@ -212,6 +212,23 @@ EXPERIMENT_ITERATIONS = 3
 #: which is representative of how cells run inside a suite.
 EXPERIMENT_ROUNDS = 3
 
+#: Cluster suite: (name suffix, executors, max jobs) cells replaying the
+#: same seeded mixed-workload traffic plan at two cluster sizes.  The
+#: wall time gates the whole lane path — executor reuse, the shared
+#: shuffle service overlay and the per-job delta accounting — the way
+#: the experiment cells gate ``run_experiment``.
+CLUSTER_CELLS = [("e2", 2, 6), ("e4", 4, 6)]
+#: Quick mode runs a subset of the same cells (identical plans, so the
+#: records stay comparable against the committed full-suite baseline).
+QUICK_CLUSTER_CELLS = [("e2", 2, 6)]
+CLUSTER_SEED = 7
+CLUSTER_BASE_SCALE = 0.02
+CLUSTER_DURATION_S = 30.0
+CLUSTER_RATE = 0.3
+#: Best-of rounds per cluster cell (each cell is a multi-second replay;
+#: same estimator as the experiment cells).
+CLUSTER_ROUNDS = 2
+
 #: ``--scale-sweep``: cells and scales probing that wall time grows
 #: near-linearly with input size (the scale-10 evidence the ROADMAP's
 #: full Table-4 matrix rests on).
@@ -318,6 +335,35 @@ def run_experiment_bench(
         "sim_per_wall": result.elapsed_s / best_wall if best_wall > 0 else 0.0,
         "minor_gcs": result.minor_gcs,
         "major_gcs": result.major_gcs,
+    }
+
+
+def run_cluster_bench(
+    suffix: str, executors: int, max_jobs: int, rounds: int = CLUSTER_ROUNDS
+) -> Dict[str, Any]:
+    """Measure one cluster-traffic replay cell; returns its record."""
+    from repro.cluster import Cluster, generate_traffic
+
+    plan = generate_traffic(
+        seed=CLUSTER_SEED,
+        duration_s=CLUSTER_DURATION_S,
+        rate_jobs_per_s=CLUSTER_RATE,
+        base_scale=CLUSTER_BASE_SCALE,
+        max_jobs=max_jobs,
+    )
+    cluster = Cluster(executors)
+    wall_s, report = _timed_best_of(lambda: cluster.run(plan)[0], rounds)
+    return {
+        "name": f"cluster.mix.{suffix}",
+        "kind": "cluster",
+        "rounds": max(1, rounds),
+        "executors": executors,
+        "n_jobs": report.n_jobs,
+        "wall_s": wall_s,
+        "sim_s": report.makespan_s,
+        "sim_per_wall": report.makespan_s / wall_s if wall_s > 0 else 0.0,
+        "throughput_jobs_per_s": report.throughput_jobs_per_s,
+        "latency_p99_s": report.latency_p99_s,
     }
 
 
@@ -463,6 +509,15 @@ def run_bench_suite(
             f"{record['sim_s']:.2f} s simulated "
             f"({record['sim_per_wall']:.2f} sim-s/wall-s)"
         )
+    cluster_cells = QUICK_CLUSTER_CELLS if quick else CLUSTER_CELLS
+    for suffix, executors, max_jobs in cluster_cells:
+        record = run_cluster_bench(suffix, executors, max_jobs)
+        records.append(record)
+        emit(
+            f"  {record['name']:28s} {record['wall_s']:9.2f} s wall, "
+            f"{record['n_jobs']} jobs on {executors} executors "
+            f"({record['sim_per_wall']:.2f} sim-s/wall-s)"
+        )
     if scale_sweep:
         records.extend(run_scale_sweep(quick=quick, log=log))
     return {
@@ -497,6 +552,7 @@ def write_bench_report(document: Dict[str, Any], path: str) -> None:
 _COMPARE_METRIC = {
     "micro": "per_iter_us",
     "experiment": "wall_s",
+    "cluster": "wall_s",
     "sweep": "wall_s",
     "sweep_summary": "per_record_ratio",
 }

@@ -225,6 +225,89 @@ def _parse_throttle(text: str):
         raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
+def _parse_executor_kill(text: str):
+    """argparse type for --kill-executor: ``EXECUTOR:BOUNDARY[:JOB]``."""
+    from repro.cluster import ExecutorKill
+    from repro.errors import FaultError
+
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError("expected EXECUTOR:BOUNDARY[:JOB]")
+    try:
+        return ExecutorKill(
+            executor=int(parts[0]),
+            at_boundary=int(parts[1]),
+            job_id=int(parts[2]) if len(parts) == 3 else None,
+        )
+    except (ValueError, FaultError) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def cmd_cluster(args) -> int:
+    """``repro cluster``: replay seeded traffic on a simulated cluster.
+
+    Generates a traffic plan from the seed and knobs, replays it across
+    N executors (optionally under a cluster fault plan), and prints the
+    throughput / latency / per-tenant utilisation report.
+    """
+    import json as _json
+
+    from repro.cluster import Cluster, ClusterFaultPlan, generate_traffic
+
+    policy = _POLICY_CHOICES[args.policy]
+    plan = generate_traffic(
+        seed=args.seed,
+        duration_s=args.duration,
+        rate_jobs_per_s=args.rate,
+        workloads=args.workloads,
+        process=args.process,
+        tenants=args.tenants,
+        base_scale=args.scale,
+        diurnal_period_s=args.diurnal_period,
+        diurnal_amplitude=args.diurnal_amplitude,
+        iterations=args.iterations,
+        max_jobs=args.max_jobs,
+    )
+    if plan.is_empty:
+        print("traffic plan is empty; raise --rate or --duration")
+        return 2
+    print(f"traffic: {plan.describe()}")
+    if args.random_kills:
+        faults = ClusterFaultPlan.random(
+            args.seed,
+            executors=args.executors,
+            max_boundary=args.max_kill_boundary,
+            kills=args.random_kills,
+            jobs=len(plan.jobs),
+            max_recovery_attempts=args.attempts,
+        )
+    else:
+        faults = ClusterFaultPlan(
+            kills=list(args.kill_executor or []),
+            max_recovery_attempts=args.attempts,
+            seed=args.seed,
+        )
+    for kill in faults.kills:
+        scope = f"job {kill.job_id}" if kill.job_id is not None else "every job"
+        print(f"  plan: kill executor {kill.executor} at boundary "
+              f"{kill.at_boundary} ({scope})")
+    cluster = Cluster(
+        args.executors,
+        heap_gb=args.heap,
+        dram_ratio=args.ratio,
+        policy=policy,
+    )
+    report, _ = cluster.run(plan, faults=faults, jobs=args.jobs)
+    for line in report.summary_lines():
+        print(line)
+    if args.export_json:
+        with open(args.export_json, "w") as fh:
+            fh.write(report.to_json(indent=2))
+            fh.write("\n")
+        print(f"  wrote {args.export_json}")
+    return 0
+
+
 def cmd_faults(args) -> int:
     """``repro faults``: inject a fault plan and check convergence.
 
@@ -603,6 +686,137 @@ def build_parser() -> argparse.ArgumentParser:
         help="write plan + FaultReport + checksums as JSON",
     )
     faults_parser.set_defaults(fn=cmd_faults)
+
+    cluster_parser = sub.add_parser(
+        "cluster",
+        help="replay seeded traffic on a multi-executor cluster simulator",
+    )
+    cluster_parser.add_argument(
+        "--executors",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="cluster size (each executor is a full hybrid-memory node)",
+    )
+    cluster_parser.add_argument(
+        "--seed", type=int, default=0, help="traffic (and fault) plan seed"
+    )
+    cluster_parser.add_argument(
+        "--duration",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="arrival horizon in simulated seconds",
+    )
+    cluster_parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.2,
+        metavar="JOBS_PER_S",
+        help="mean arrival rate",
+    )
+    cluster_parser.add_argument(
+        "--process",
+        choices=("poisson", "diurnal"),
+        default="poisson",
+        help="arrival process",
+    )
+    cluster_parser.add_argument(
+        "--diurnal-period",
+        type=float,
+        default=None,
+        metavar="S",
+        help="diurnal sinusoid period (default: the horizon)",
+    )
+    cluster_parser.add_argument(
+        "--diurnal-amplitude",
+        type=float,
+        default=0.8,
+        metavar="FRAC",
+        help="relative swing of the diurnal rate, in [0, 1)",
+    )
+    cluster_parser.add_argument(
+        "--tenants",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="tenant count (skewed submission shares and data scales)",
+    )
+    cluster_parser.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="workload mix (default: all of PR KM LR TC CC SSSP BC)",
+    )
+    cluster_parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.02,
+        metavar="FRAC",
+        help="base data scale before per-tenant multipliers",
+    )
+    cluster_parser.add_argument(
+        "--iterations", type=int, default=None, help="override workload iterations"
+    )
+    cluster_parser.add_argument(
+        "--max-jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="cap on generated jobs",
+    )
+    cluster_parser.add_argument(
+        "--heap", type=float, default=64.0, help="per-executor heap GB"
+    )
+    cluster_parser.add_argument(
+        "--ratio", type=float, default=1 / 3, help="DRAM share of physical memory"
+    )
+    cluster_parser.add_argument(
+        "--policy",
+        choices=sorted(_POLICY_CHOICES),
+        default="panthera",
+        help="placement policy",
+    )
+    cluster_parser.add_argument(
+        "--kill-executor",
+        type=_parse_executor_kill,
+        action="append",
+        metavar="EXECUTOR:BOUNDARY[:JOB]",
+        help="kill an executor at a per-job stage boundary; repeatable",
+    )
+    cluster_parser.add_argument(
+        "--random-kills",
+        type=_positive_int,
+        default=0,
+        metavar="N",
+        help="generate N seeded random executor kills instead",
+    )
+    cluster_parser.add_argument(
+        "--max-kill-boundary",
+        type=_positive_int,
+        default=6,
+        metavar="N",
+        help="random kills fire at boundaries in [1, N]",
+    )
+    cluster_parser.add_argument(
+        "--attempts",
+        type=_positive_int,
+        default=3,
+        metavar="N",
+        help="bounded recovery attempts per lost partition",
+    )
+    cluster_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for the lane fan-out "
+        "(report identical to serial)",
+    )
+    cluster_parser.add_argument(
+        "--export-json", metavar="PATH", help="write the full report as JSON"
+    )
+    cluster_parser.set_defaults(fn=cmd_cluster)
 
     analyze_parser = sub.add_parser(
         "analyze", help="show the §3 static analysis for a workload"

@@ -1,4 +1,4 @@
-"""Cluster-scale projection of single-node GC behaviour.
+"""Cluster-scale simulation and projection of GC behaviour.
 
 The paper runs a two-node cluster but argues the stakes grow with scale
 (§5.2): "a GC run on a single node can hold up the entire cluster — when
@@ -7,11 +7,48 @@ the requesting node cannot do anything until the GC is done ... we
 expect Panthera to provide even greater benefit when Spark is executed
 on a large NVM cluster."
 
-This package turns that argument into a model: given one simulated
-node's pause timeline, project the synchronised-stage slowdown of a
-K-node cluster and show how each policy's GC profile amplifies with K.
+This package answers that argument two ways:
+
+* A **multi-executor cluster simulator** (:mod:`~repro.cluster.
+  simulator`): N persistent executors, each a full hybrid DRAM/NVM node
+  on its own simulated clock, replaying a seeded
+  :class:`~repro.cluster.traffic.TrafficPlan` with a shared shuffle
+  service (:mod:`~repro.cluster.service`) and cluster-level executor
+  kills (:mod:`~repro.cluster.faults`) that recover through lineage.
+  A 1-executor cluster job is byte-identical to
+  :func:`~repro.harness.experiment.run_experiment` — the simulator is a
+  strict generalisation of the single-node path.
+* An **analytical projection** (:mod:`~repro.cluster.projection`):
+  given one node's pause timeline, estimate the synchronised-stage
+  slowdown of a K-node gang in microseconds instead of a simulation.
+  :mod:`~repro.cluster.gang` runs the simulation-backed version of the
+  same quantity and pins the projection against it.
 """
 
-from repro.cluster.projection import ClusterProjection, project_cluster
+from repro.cluster.executor import Executor, JobArtifacts, JobRecord
+from repro.cluster.faults import ClusterFaultPlan, ExecutorKill
+from repro.cluster.gang import GangResult, gang_run
+from repro.cluster.projection import ClusterProjection, project_cluster, project_pauses
+from repro.cluster.service import ShuffleService
+from repro.cluster.simulator import Cluster, ClusterReport, default_cluster_config
+from repro.cluster.traffic import JobSpec, TrafficPlan, generate_traffic
 
-__all__ = ["ClusterProjection", "project_cluster"]
+__all__ = [
+    "Cluster",
+    "ClusterFaultPlan",
+    "ClusterProjection",
+    "ClusterReport",
+    "Executor",
+    "ExecutorKill",
+    "GangResult",
+    "JobArtifacts",
+    "JobRecord",
+    "JobSpec",
+    "ShuffleService",
+    "TrafficPlan",
+    "default_cluster_config",
+    "gang_run",
+    "generate_traffic",
+    "project_cluster",
+    "project_pauses",
+]

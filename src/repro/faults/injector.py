@@ -199,6 +199,22 @@ class FaultInjector:
         rdd = self.ctx._rdds.get(rdd_id)
         return rdd.name if rdd is not None else None
 
+    def external_block_kill(self, rdd_id: int) -> bool:
+        """Destroy one specific persisted in-memory block on behalf of
+        an external fault source (a cluster-level executor kill whose
+        victim owned this block's replica).  The block's next
+        materialisation runs through the measured recovery path exactly
+        like a plan-driven ``block`` kill.  Returns whether a live
+        in-memory block was actually destroyed."""
+        block = self.ctx.block_manager.get(rdd_id)
+        if block is None or block.on_disk:
+            return False
+        if self.ctx.block_manager.kill(rdd_id) is None:
+            return False
+        self._killed_blocks.add(rdd_id)
+        self.kills_fired += 1
+        return True
+
     # ------------------------------------------------------------------
     # recovery
     # ------------------------------------------------------------------

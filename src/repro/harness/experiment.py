@@ -130,18 +130,36 @@ def run_experiment(
     injector = (
         FaultInjector.attach(faults, ctx) if faults is not None else None
     )
-    analysis: Optional[StaticAnalysis] = None
-    tags: Dict[str, Any] = {}
-    if ctx.panthera_enabled:
-        analysis = analyze_program(spec.program)
-        tags = analysis.tags
-    action_results = execute_program(spec.program, ctx, tags)
+    action_results, analysis = execute_spec(spec, ctx)
     result = _collect(spec.name, config, ctx, action_results, analysis, keep_context)
     if session is not None:
         result.trace_events = session.events
     if injector is not None:
         result.fault_report = injector.report()
     return result
+
+
+def execute_spec(spec, ctx: SparkContext):
+    """Execute one built workload spec's program on a live context.
+
+    The single execution path shared by :func:`run_experiment` and the
+    cluster executor (:mod:`repro.cluster.executor`): Panthera's static
+    analysis runs when the policy asks for it, then the program executes
+    with its tags.  Keeping this seam shared is what makes a 1-executor
+    cluster job byte-identical to ``run_experiment`` — the cluster path
+    is a generalisation, not a fork.
+
+    Returns:
+        ``(action_results, analysis)`` where ``analysis`` is None for
+        non-Panthera policies.
+    """
+    analysis: Optional[StaticAnalysis] = None
+    tags: Dict[str, Any] = {}
+    if ctx.panthera_enabled:
+        analysis = analyze_program(spec.program)
+        tags = analysis.tags
+    action_results = execute_program(spec.program, ctx, tags)
+    return action_results, analysis
 
 
 def _collect(

@@ -100,17 +100,17 @@ def matrix_to_json(
     return json.dumps(payload, indent=indent, sort_keys=True)
 
 
-def bandwidth_series_to_csv(result: ExperimentResult) -> str:
-    """Figure 8's series as CSV: time_s, device, direction, gbps.
+def bandwidth_csv_from_machine(machine) -> str:
+    """Figure 8's series for one live machine as CSV.
 
-    Requires a result produced with ``keep_context=True``.
+    The shared rendering behind :func:`bandwidth_series_to_csv` and the
+    cluster executor's per-job artifacts — one code path, so the
+    1-executor oracle compares byte-identical text by construction.
     """
-    if result.context is None:
-        raise ValueError("bandwidth export needs keep_context=True")
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(["time_s", "device", "direction", "gbps"])
-    bw = result.context.machine.bandwidth
+    bw = machine.bandwidth
     for device in (DeviceKind.DRAM, DeviceKind.NVM):
         for is_write, label in ((False, "read"), (True, "write")):
             for sample in bw.series(device, is_write):
@@ -118,6 +118,16 @@ def bandwidth_series_to_csv(result: ExperimentResult) -> str:
                     [f"{sample.time_s:.3f}", device.value, label, f"{sample.gbps:.4f}"]
                 )
     return buffer.getvalue()
+
+
+def bandwidth_series_to_csv(result: ExperimentResult) -> str:
+    """Figure 8's series as CSV: time_s, device, direction, gbps.
+
+    Requires a result produced with ``keep_context=True``.
+    """
+    if result.context is None:
+        raise ValueError("bandwidth export needs keep_context=True")
+    return bandwidth_csv_from_machine(result.context.machine)
 
 
 def gc_pauses_to_csv(result: ExperimentResult) -> str:

@@ -57,6 +57,13 @@ class SparkContext:
         #: scheduler consults it at stage/action boundaries (None = no
         #: fault injection, one ``is None`` check per boundary).
         self.faults = None
+        #: optional cluster binding (see :mod:`repro.cluster.executor`);
+        #: the scheduler consults it the same way it consults ``faults``
+        #: — stage/action boundaries and shuffle fetches, one ``is
+        #: None`` check each.  None = this context is a standalone node,
+        #: and every code path is byte-identical to the pre-cluster
+        #: simulator.
+        self.cluster = None
         self.materializer = Materializer(heap, machine, self.costs, runtime)
         self.scheduler = Scheduler(self)
         self._rdd_ids = itertools.count(1)

@@ -77,6 +77,8 @@ class Scheduler:
         self._ensure_upstream_shuffles(rdd)
         if self.ctx.faults is not None:
             self.ctx.faults.action_boundary(rdd)
+        if self.ctx.cluster is not None:
+            self.ctx.cluster.action_boundary(rdd)
         self._push_scope()
         try:
             if self.ctx.panthera_enabled and rdd.memory_tag is not None:
@@ -114,6 +116,8 @@ class Scheduler:
         self._ensure_upstream_shuffles(rdd)
         if self.ctx.faults is not None:
             self.ctx.faults.action_boundary(rdd)
+        if self.ctx.cluster is not None:
+            self.ctx.cluster.action_boundary(rdd)
         self._push_scope()
         taken: List[Record] = []
         try:
@@ -261,6 +265,11 @@ class Scheduler:
             # scheduled for it fire now (possibly re-losing the output
             # this very stage just wrote — recovery is bounded).
             self.ctx.faults.stage_boundary(dep)
+        if self.ctx.cluster is not None:
+            # The cluster binding registers the shuffle with the shared
+            # service (reduce partitions get owners across executors)
+            # and fires executor kills due at this boundary.
+            self.ctx.cluster.stage_boundary(dep)
 
     # ------------------------------------------------------------------
     # record access (the task-side data plane)
@@ -477,6 +486,11 @@ class Scheduler:
             self._run_shuffle_map(dep)
         if self.ctx.faults is not None:
             self.ctx.faults.ensure_shuffle_partition(self, dep, pidx)
+        if self.ctx.cluster is not None:
+            # Partitions owned by a remote executor pay the network hop
+            # (charged through Machine.run_rows on this machine) before
+            # the local disk read below models the landing.
+            self.ctx.cluster.shuffle_fetch(dep, pidx)
         records = self.ctx.shuffles.read(dep.shuffle_id, pidx)
         costs = self.ctx.costs
         threads = self.ctx.config.mutator_threads
