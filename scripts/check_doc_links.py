@@ -6,8 +6,15 @@ references, skips external targets (``http://``, ``https://``,
 ``mailto:``), pure in-page anchors (``#section``) and GitHub virtual
 paths that resolve outside the repository (the ``../../actions/...``
 badge idiom), and verifies the remaining paths exist relative to the
-file that references them.  Exits non-zero listing every broken link —
-the CI docs job runs exactly this.
+file that references them.
+
+Also fails on *orphaned* documentation: every ``docs/*.md`` file must
+be reachable from ``README.md`` or ``docs/TUTORIAL.md`` by following
+relative Markdown links (breadth-first over the link graph).  A page
+nothing links to is a page nobody finds.
+
+Exits non-zero listing every broken link and every orphan — the CI
+docs job runs exactly this.
 
 Usage::
 
@@ -58,6 +65,49 @@ def check_file(path: pathlib.Path, root: pathlib.Path) -> list:
     return problems
 
 
+#: Orphan-check roots: reachability starts from these files.
+ROOT_DOCS = ("README.md", "docs/TUTORIAL.md")
+
+
+def reachable_markdown(root: pathlib.Path) -> set:
+    """Every markdown file reachable from the ROOT_DOCS by following
+    relative links (breadth-first; external targets and non-markdown
+    files are not traversed)."""
+    root = root.resolve()
+    queue = [
+        (root / name).resolve() for name in ROOT_DOCS if (root / name).exists()
+    ]
+    seen = set(queue)
+    while queue:
+        path = queue.pop()
+        for _lineno, target in iter_links(path):
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative or not relative.endswith(".md"):
+                continue
+            resolved = (path.parent / relative).resolve()
+            if (
+                resolved.is_relative_to(root)
+                and resolved.exists()
+                and resolved not in seen
+            ):
+                seen.add(resolved)
+                queue.append(resolved)
+    return seen
+
+
+def find_orphans(root: pathlib.Path) -> list:
+    """Every ``docs/*.md`` file no ROOT_DOC (transitively) links to."""
+    root = root.resolve()
+    reachable = reachable_markdown(root)
+    return [
+        path
+        for path in sorted(root.glob("docs/*.md"))
+        if path.resolve() not in reachable
+    ]
+
+
 def main(argv=None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -77,6 +127,12 @@ def main(argv=None) -> int:
     problems = []
     for path in files:
         problems.extend(check_file(path, root))
+    for orphan in find_orphans(root):
+        problems.append(
+            f"{orphan}: orphaned (not reachable from "
+            + " or ".join(ROOT_DOCS)
+            + ")"
+        )
     for problem in problems:
         print(problem, file=sys.stderr)
     print(

@@ -184,6 +184,20 @@ def setup_static_analysis() -> Callable[[], None]:
     return analyze
 
 
+def setup_ser_roundtrip() -> Callable[[], None]:
+    """Pack + unpack one 4096-record numeric partition through the
+    serialized tier's column-batch data plane (the columnar fast path;
+    see :mod:`repro.spark.serialized`)."""
+    from repro.spark.serialized import SerializedColumnBatch
+
+    records = [(i, float(i) * 0.5) for i in range(4096)]
+
+    def roundtrip() -> None:
+        SerializedColumnBatch.pack(records).unpack()
+
+    return roundtrip
+
+
 #: name -> (setup, inner iterations per round)
 MICRO_BENCHES: Dict[str, Any] = {
     "micro.ephemeral_churn": (setup_ephemeral_churn, 20),
@@ -192,6 +206,7 @@ MICRO_BENCHES: Dict[str, Any] = {
     "micro.charge_trace": (setup_charge_trace, 50),
     "micro.charge_rows": (setup_charge_rows, 20),
     "micro.static_analysis": (setup_static_analysis, 20),
+    "micro.ser_roundtrip": (setup_ser_roundtrip, 50),
 }
 
 #: (workload, policy) cells measured as end-to-end experiments.
@@ -201,6 +216,14 @@ EXPERIMENT_CELLS = [
     ("CC", PolicyName.PANTHERA),
 ]
 QUICK_EXPERIMENT_CELLS = [("PR", PolicyName.PANTHERA)]
+#: The serialized-tier A/B pair: the same KM cell persisted in the
+#: object heap vs the serialized off-heap tier.  ``micro.ser_roundtrip``
+#: times the pack/unpack data plane; these time the full cost path
+#: (serialize-on-persist and deserialize-on-access charging included).
+SERTIER_CELLS = [
+    ("sertier.KM.object", "MEMORY_ONLY"),
+    ("sertier.KM.serialized", "MEMORY_ONLY_SER"),
+]
 #: Experiment cells run at paper scale 1.0 (up from 0.02 before the
 #: data-plane overhaul) so the gate actually measures per-record costs.
 EXPERIMENT_SCALE = 1.0
@@ -328,6 +351,38 @@ def run_experiment_bench(
     )
     return {
         "name": f"experiment.{workload}.{policy.value}",
+        "kind": "experiment",
+        "rounds": max(1, rounds),
+        "wall_s": best_wall,
+        "sim_s": result.elapsed_s,
+        "sim_per_wall": result.elapsed_s / best_wall if best_wall > 0 else 0.0,
+        "minor_gcs": result.minor_gcs,
+        "major_gcs": result.major_gcs,
+    }
+
+
+def run_sertier_bench(
+    name: str, level_name: str, rounds: int = EXPERIMENT_ROUNDS
+) -> Dict[str, Any]:
+    """Measure one serialized-tier A/B cell (KM with an explicit persist
+    level); returns its record.  Same protocol as the experiment cells."""
+    from repro.spark.storage import StorageLevel
+
+    config = paper_config(64, 1 / 3, PolicyName.PANTHERA, EXPERIMENT_SCALE)
+    best_wall, result = _timed_best_of(
+        lambda: run_experiment(
+            "KM",
+            config,
+            scale=EXPERIMENT_SCALE,
+            workload_kwargs={
+                "iterations": EXPERIMENT_ITERATIONS,
+                "persist_level": StorageLevel(level_name),
+            },
+        ),
+        rounds,
+    )
+    return {
+        "name": name,
         "kind": "experiment",
         "rounds": max(1, rounds),
         "wall_s": best_wall,
@@ -503,6 +558,14 @@ def run_bench_suite(
     cells = QUICK_EXPERIMENT_CELLS if quick else EXPERIMENT_CELLS
     for workload, policy in cells:
         record = run_experiment_bench(workload, policy)
+        records.append(record)
+        emit(
+            f"  {record['name']:28s} {record['wall_s']:9.2f} s wall, "
+            f"{record['sim_s']:.2f} s simulated "
+            f"({record['sim_per_wall']:.2f} sim-s/wall-s)"
+        )
+    for name, level_name in SERTIER_CELLS:
+        record = run_sertier_bench(name, level_name)
         records.append(record)
         emit(
             f"  {record['name']:28s} {record['wall_s']:9.2f} s wall, "

@@ -19,6 +19,7 @@ from repro.core.static_analysis import analyze_program
 from repro.harness.configs import paper_config
 from repro.harness.experiment import run_experiment
 from repro.harness.report import format_markdown_table, normalize_results, summarize
+from repro.spark.storage import StorageLevel
 from repro.workloads.registry import WORKLOADS, build_workload
 
 _POLICY_CHOICES = {p.value: p for p in PolicyName}
@@ -44,10 +45,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--iterations", type=int, default=None, help="override workload iterations"
     )
+    parser.add_argument(
+        "--persist",
+        choices=sorted(level.value for level in StorageLevel),
+        default=None,
+        metavar="LEVEL",
+        help="override the workload's main persist level (PR and KM; "
+        "e.g. MEMORY_ONLY_SER routes to the serialized off-heap tier)",
+    )
 
 
 def _workload_kwargs(args) -> dict:
-    return {"iterations": args.iterations} if args.iterations else {}
+    kwargs = {}
+    if args.iterations:
+        kwargs["iterations"] = args.iterations
+    if getattr(args, "persist", None):
+        kwargs["persist_level"] = StorageLevel(args.persist)
+    return kwargs
 
 
 def _print_trace_report(result, top_n: int = 10, indent: str = "") -> None:
@@ -424,9 +438,16 @@ def cmd_analyze(args) -> int:
     print(f"{spec.name}: {spec.description}")
     for var, tag in analysis.tags.items():
         label = tag.value.upper() if tag else "untagged"
-        print(f"  {var:12s} -> {label:8s} {analysis.rationale[var]}")
+        placement = analysis.placement_of(var).value
+        print(
+            f"  {var:12s} -> {label:8s} [{placement}] "
+            f"{analysis.rationale[var]}"
+        )
     if analysis.flipped:
         print("  (all persisted RDDs were NVM: every tag flipped to DRAM)")
+    if analysis.ser_candidates:
+        names = ", ".join(sorted(analysis.ser_candidates))
+        print(f"  serialization candidates (NVM-tagged persists): {names}")
     return 0
 
 

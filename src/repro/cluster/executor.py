@@ -426,12 +426,19 @@ class Executor:
 
     def heap_occupancy(self) -> Tuple[float, float]:
         """Live-byte occupancy of DRAM and NVM as a fraction of each
-        device's capacity (sampled over every heap space)."""
+        device's capacity (sampled over every heap space, plus the
+        serialized off-heap tier's packed batches on the native
+        device)."""
         heap = self.ctx.heap
         used: Dict[DeviceKind, int] = {}
         for space in heap.young_spaces + heap.old_spaces:
             for device, nbytes in space.device_histogram().items():
                 used[device] = used.get(device, 0) + nbytes
+        tier_bytes = int(self.ctx.block_manager.serialized_tier_bytes())
+        if tier_bytes:
+            used[heap.native.device] = (
+                used.get(heap.native.device, 0) + tier_bytes
+            )
         dram = self.config.dram_bytes
         nvm = self.config.nvm_bytes
         return (

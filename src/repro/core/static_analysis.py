@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.tags import MemoryTag
+from repro.core.tags import MemoryTag, Placement, placement_for
 from repro.spark.program import (
     ActionStmt,
     AssignStmt,
@@ -67,16 +67,32 @@ class StaticAnalysis:
         rationale: human-readable explanation per variable.
         flipped: whether the all-NVM -> all-DRAM rule fired.
         loops: the loop structure the analysis saw.
+        placements: variable -> the three-way storage decision
+            (object-heap-DRAM / object-heap-NVM / serialized-NVM),
+            folding the tag inference with the live ``SERIALIZED_TIER``
+            routing of the variable's persist level.
+        ser_candidates: variables the analysis marks
+            serialization-friendly — persisted, taggable and
+            defined-per-iteration (the cold write-once-read-once shape
+            where dropping GC tracing beats paying deserialisation,
+            arXiv 2111.10589).  Advisory: the decision stays with the
+            developer-written storage level.
     """
 
     tags: Dict[str, Optional[MemoryTag]]
     rationale: Dict[str, str]
     flipped: bool
     loops: List[LoopInfo]
+    placements: Dict[str, Placement] = field(default_factory=dict)
+    ser_candidates: Set[str] = field(default_factory=set)
 
     def tag_of(self, var: str) -> Optional[MemoryTag]:
         """Tag for one variable (None if untagged/unknown)."""
         return self.tags.get(var)
+
+    def placement_of(self, var: str) -> Placement:
+        """Placement for one variable (UNPLACED if unknown)."""
+        return self.placements.get(var, Placement.UNPLACED)
 
 
 def _expr_uses(expr: Expr) -> Set[str]:
@@ -146,6 +162,7 @@ def analyze_program(program: Program) -> StaticAnalysis:
     rationale: Dict[str, str] = {}
     persisted_taggable: List[str] = []
     fixed: Set[str] = set()
+    ser_candidates: Set[str] = set()
 
     for point in points:
         var = point.var
@@ -166,8 +183,14 @@ def analyze_program(program: Program) -> StaticAnalysis:
         if var not in fixed:
             tags[var] = inferred
             rationale[var] = why
-        if point.level is not None and var not in persisted_taggable:
-            persisted_taggable.append(var)
+        if point.level is not None:
+            if var not in persisted_taggable:
+                persisted_taggable.append(var)
+            if inferred is MemoryTag.NVM:
+                # Defined-per-iteration and persisted: the cold shape
+                # where the serialized tier's no-tracing win outweighs
+                # its per-access deserialisation cost.
+                ser_candidates.add(var)
 
     # Variables pinned by OFF_HEAP/DISK_ONLY do not participate in the
     # flip decision: only genuinely taggable persisted RDDs can "all be
@@ -184,7 +207,42 @@ def analyze_program(program: Program) -> StaticAnalysis:
             tags[var] = MemoryTag.DRAM
             rationale[var] += "; flipped to DRAM (all persisted RDDs were NVM)"
 
-    return StaticAnalysis(tags=tags, rationale=rationale, flipped=flipped, loops=loops)
+    # Genuine DRAM evidence (used-only in a loop) disqualifies a
+    # serialization candidate — hot data should stay object form.  The
+    # all-NVM flip does not: a flipped variable is still the cold
+    # defined-per-iteration shape.
+    if not flipped:
+        ser_candidates = {
+            v for v in ser_candidates if tags.get(v) is not MemoryTag.DRAM
+        }
+
+    # The three-way placement: the developer-written level decides the
+    # serialized tier (per the live SERIALIZED_TIER routing); the tag
+    # inference decides DRAM-heap vs NVM-heap for everything else.
+    from repro.spark.storage import serialized_tier_active
+
+    tier_routed = {
+        p.var
+        for p in points
+        if p.level is not None and serialized_tier_active(p.level)
+    }
+    placements = {
+        var: placement_for(tag, var in tier_routed)
+        for var, tag in tags.items()
+    }
+    for var in tier_routed:
+        rationale[var] += (
+            "; placed in the serialized tier (level routes off-heap)"
+        )
+
+    return StaticAnalysis(
+        tags=tags,
+        rationale=rationale,
+        flipped=flipped,
+        loops=loops,
+        placements=placements,
+        ser_candidates=ser_candidates,
+    )
 
 
 def _infer_for_point(

@@ -241,6 +241,27 @@ class ManagedHeap:
             self.trace.alloc(obj)
         return obj
 
+    def free_native(self, obj: HeapObject) -> bool:
+        """Explicitly release a native-region object.
+
+        Unlike the legacy OFF_HEAP blocks (which live until the end of
+        the run), serialized-tier blocks are unpersistable and killable:
+        their packed buffers are freed here so the native region's live
+        bytes — and the trace-replay oracle's reconstruction of them —
+        track the block manager's registry exactly.
+
+        Returns:
+            True when the object was resident in the native region.
+        """
+        if obj.space is not self.native:
+            return False
+        if self.trace is not None:
+            self.trace.free(obj, self.native.name)
+        self.native.discard(obj)
+        obj.space = None
+        obj.addr = None
+        return True
+
     def _place_in_old(self, obj: HeapObject, space: Space) -> bool:
         """Place an object in an old space, falling back across old spaces
         in policy order, registering arrays with the card table."""

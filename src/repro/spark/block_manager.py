@@ -63,8 +63,23 @@ class BlockManager:
         return list(self._blocks.values())
 
     def in_memory_bytes(self) -> float:
-        """Data bytes of heap-resident blocks."""
-        return sum(b.data_bytes for b in self._blocks.values() if not b.on_disk)
+        """Data bytes of heap-resident blocks.
+
+        Serialized-tier blocks are excluded: their payload lives in the
+        native region, so it never competes with the old generation the
+        capacity machinery guards.
+        """
+        return sum(
+            b.data_bytes
+            for b in self._blocks.values()
+            if not b.on_disk and not b.in_serialized_tier
+        )
+
+    def serialized_tier_bytes(self) -> float:
+        """Packed bytes resident in the serialized off-heap tier."""
+        return sum(
+            b.data_bytes for b in self._blocks.values() if b.in_serialized_tier
+        )
 
     # -- registration -----------------------------------------------------------
 
@@ -84,11 +99,18 @@ class BlockManager:
             self.heap.trace.block_event("unpersist", rdd_id, block.data_bytes)
 
     def _release_heap_objects(self, block: MaterializedBlock) -> None:
-        """Unroot a block and stop card-scanning its (now garbage) arrays."""
+        """Unroot a block and stop card-scanning its (now garbage) arrays.
+
+        Serialized-tier blocks additionally free their native batches
+        explicitly — nothing else ever reclaims native memory (legacy
+        OFF_HEAP blocks live until the end of the run, §4.1)."""
         self.heap.remove_root(block.top)
         for array in block.arrays:
             if self.heap.card_table.is_registered(array):
                 self.heap.card_table.unregister(array)
+        if block.in_serialized_tier:
+            for array in block.arrays:
+                self.heap.free_native(array)
 
     # -- memory pressure ------------------------------------------------------------
 
@@ -133,7 +155,13 @@ class BlockManager:
         return capacity - self.in_memory_bytes()
 
     def _pick_victim(self) -> Optional[MaterializedBlock]:
-        candidates = [b for b in self._blocks.values() if not b.on_disk]
+        # Serialized-tier blocks occupy native memory, not the old
+        # generation — evicting one frees nothing the caller needs.
+        candidates = [
+            b
+            for b in self._blocks.values()
+            if not b.on_disk and not b.in_serialized_tier
+        ]
         if not candidates:
             return None
         return min(candidates, key=lambda b: b.last_used)

@@ -41,6 +41,10 @@ class MaterializedBlock:
         serialized: whether the in-heap form is a serialised buffer
             (reads pay deserialisation CPU).
         last_used: LRU clock for eviction.
+        ser_batches: packed column batches per partition when the block
+            lives in the serialized off-heap tier (the authoritative
+            data plane for such blocks; ``records`` is empty), else
+            None.
     """
 
     rdd_id: int
@@ -53,6 +57,27 @@ class MaterializedBlock:
     on_disk: bool = False
     serialized: bool = False
     last_used: float = 0.0
+    ser_batches: Optional[list] = None
+
+    @property
+    def in_serialized_tier(self) -> bool:
+        """Whether this block's payload is packed native column batches
+        (no object-heap structure, no GC tracing)."""
+        return self.ser_batches is not None
+
+    def partition_records(self, pidx: int) -> List[Record]:
+        """The record list of one partition, unpacking serialized-tier
+        batches on demand (every access re-deserialises — that is the
+        tier's trade)."""
+        if self.ser_batches is not None:
+            return self.ser_batches[pidx].unpack()
+        return self.records[pidx]
+
+    def partition_count(self, pidx: int) -> int:
+        """Number of records in one partition, without unpacking."""
+        if self.ser_batches is not None:
+            return self.ser_batches[pidx].count
+        return len(self.records[pidx])
 
     def heap_objects(self) -> List[HeapObject]:
         """Every heap object belonging to this block."""

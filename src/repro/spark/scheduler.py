@@ -34,7 +34,13 @@ from repro.spark.rdd import (
     ShuffleDependency,
     ShuffledRDD,
 )
-from repro.spark.storage import expand_level
+from repro.spark.serialized import pack_partitions
+from repro.spark.storage import (
+    expand_level,
+    routes_to_serialized_tier,
+    serialized_tier_active,
+    warn_legacy_serialized_fallthrough,
+)
 
 
 class Scheduler:
@@ -302,8 +308,10 @@ class Scheduler:
     ) -> List[Record]:
         """Serve one partition from a block, charging its read wherever
         the block's objects currently live."""
-        records = block.records[pidx]
         threads = self.ctx.config.mutator_threads
+        if block.in_serialized_tier:
+            return self._read_serialized_partition(rdd, block, pidx)
+        records = block.records[pidx]
         if block.on_disk:
             part_bytes = len(records) * rdd.bytes_per_record
             self.ctx.machine.access(
@@ -346,6 +354,46 @@ class Scheduler:
         # mutate record lists (the legacy data plane copies anyway).
         return list(records) if _partition.LEGACY_DATA_PLANE else records
 
+    def _read_serialized_partition(
+        self, rdd: RDD, block: MaterializedBlock, pidx: int
+    ) -> List[Record]:
+        """Serve one partition of a serialized-tier block.
+
+        Deserialize-on-access: stream the packed batch off the native
+        device, pay the unpack CPU, land the deserialised records in
+        DRAM.  No cards are dirtied and nothing is re-scanned — the
+        tier has no object-heap structure for the GC to see.
+        """
+        costs = self.ctx.costs
+        threads = self.ctx.config.mutator_threads
+        batch = block.ser_batches[pidx]
+        part_bytes = batch.count * rdd.bytes_per_record
+        packed_bytes = part_bytes * costs.ser_factor
+        deser_cpu = part_bytes * costs.cpu_ns_per_byte / threads
+        device = self.ctx.heap.native.device
+        if _charging.VECTORISED_COST_PLANE:
+            self.ctx.machine.run_rows(
+                (
+                    (device, packed_bytes, 0.0, 0, 0, deser_cpu),
+                    (DeviceKind.DRAM, 0.0, part_bytes, 0, 0, 0.0),
+                ),
+                threads=threads,
+            )
+        else:
+            self.ctx.machine.access(
+                device,
+                read_bytes=packed_bytes,
+                threads=threads,
+                cpu_ns=deser_cpu,
+            )
+            self.ctx.machine.access(
+                DeviceKind.DRAM, write_bytes=part_bytes, threads=threads
+            )
+        if self.ctx.heap.trace is not None:
+            self.ctx.heap.trace.deserialize(rdd.id, part_bytes)
+        self.ctx.on_rdd_call(rdd)
+        return batch.unpack()
+
     # ------------------------------------------------------------------
     # materialisation paths
     # ------------------------------------------------------------------
@@ -367,9 +415,17 @@ class Scheduler:
         total_bytes = sum(len(p) for p in parts) * rdd.bytes_per_record
         costs = self.ctx.costs
         threads = self.ctx.config.mutator_threads
-        if level.off_heap:
+        if serialized_tier_active(level):
+            block = self._materialize_serialized_tier(rdd, parts)
+        elif level.off_heap:
+            warn_legacy_serialized_fallthrough(level)
             block = self._materialize_off_heap(rdd, parts)
         elif level.use_memory:
+            if routes_to_serialized_tier(level):
+                # MEMORY_ONLY_SER with the tier off: the pre-tier
+                # object-heap serialised buffer, bit-for-bit — but no
+                # longer silently.
+                warn_legacy_serialized_fallthrough(level)
             in_heap_bytes = (
                 total_bytes * costs.ser_factor if level.serialized else total_bytes
             )
@@ -405,6 +461,69 @@ class Scheduler:
             )
         expanded = expand_level(level, tag)
         self.ctx.block_manager.put(block, expanded)
+
+    def _materialize_serialized_tier(
+        self, rdd: RDD, parts: List[List[Record]]
+    ) -> MaterializedBlock:
+        """Serialized-tier persistence: pack each partition into a
+        column batch in the native region (§4.1's off-heap NVM), charge
+        serialize-on-persist rows, and leave *nothing* for the GC to
+        trace — the tier's whole trade (arXiv 2111.10589) is paying
+        deserialisation on every access instead of tracing cost on
+        every collection.
+        """
+        heap = self.ctx.heap
+        costs = self.ctx.costs
+        threads = self.ctx.config.mutator_threads
+        top = heap.new_object(ObjKind.CONTROL, 64, rdd.id)
+        arrays = []
+        total_packed = 0.0
+        vectorised = _charging.VECTORISED_COST_PLANE
+        for records in parts:
+            part_bytes = len(records) * rdd.bytes_per_record
+            packed_bytes = part_bytes * costs.ser_factor
+            total_packed += packed_bytes
+            try:
+                native_obj = heap.allocate_native(packed_bytes, rdd.id)
+            except OutOfMemoryError as exc:
+                raise SparkError(str(exc)) from exc
+            arrays.append(native_obj)
+            # Row 1: stream the freshly computed records out of DRAM,
+            # paying the serialisation CPU.  Row 2: land the packed
+            # batch on the native device.
+            ser_cpu = part_bytes * costs.cpu_ns_per_byte / threads
+            if vectorised:
+                self.ctx.machine.run_rows(
+                    (
+                        (DeviceKind.DRAM, part_bytes, 0.0, 0, 0, ser_cpu),
+                        (heap.native.device, 0.0, packed_bytes, 0, 0, 0.0),
+                    ),
+                    threads=threads,
+                )
+            else:
+                self.ctx.machine.access(
+                    DeviceKind.DRAM,
+                    read_bytes=part_bytes,
+                    threads=threads,
+                    cpu_ns=ser_cpu,
+                )
+                self.ctx.machine.access(
+                    heap.native.device,
+                    write_bytes=packed_bytes,
+                    threads=threads,
+                )
+        if heap.trace is not None:
+            heap.trace.serialize(rdd.id, total_packed)
+        return MaterializedBlock(
+            rdd_id=rdd.id,
+            top=top,
+            arrays=arrays,
+            slabs=[[] for _ in parts],
+            records=[[] for _ in parts],
+            data_bytes=total_packed,
+            serialized=True,
+            ser_batches=pack_partitions(parts),
+        )
 
     def _materialize_off_heap(self, rdd: RDD, parts: List[List[Record]]):
         """OFF_HEAP persistence: native NVM memory, outside the GC (§4.1)."""

@@ -20,10 +20,12 @@ from typing import Callable, Dict, List, Optional
 
 from repro.trace.events import (
     ALLOC,
+    DESERIALIZE,
     FALLBACK,
     FREE,
     GC_PAUSE,
     RECOMPUTE,
+    SERIALIZE,
     TAG_RECOGNIZED,
     THROTTLE,
     TraceEvent,
@@ -170,6 +172,24 @@ class TraceBus:
                 size=nbytes,
                 rdd_id=rdd_id,
                 detail=detail,
+            )
+        )
+
+    def serialize(self, rdd_id: Optional[int], packed_bytes: float) -> None:
+        """Publish a SERIALIZE event: a block was packed into the
+        serialized off-heap tier (the native ALLOCs carry placement)."""
+        self.publish(
+            TraceEvent(
+                SERIALIZE, self.clock.now_ns, size=packed_bytes, rdd_id=rdd_id
+            )
+        )
+
+    def deserialize(self, rdd_id: Optional[int], raw_bytes: float) -> None:
+        """Publish a DESERIALIZE event: one serialized-tier partition
+        was unpacked on access."""
+        self.publish(
+            TraceEvent(
+                DESERIALIZE, self.clock.now_ns, size=raw_bytes, rdd_id=rdd_id
             )
         )
 

@@ -47,6 +47,14 @@ THROTTLE = "throttle"
 #: A killed partition/block was recomputed through lineage; ``detail``
 #: says what was lost (``shuffle:<id>:<pidx>`` or ``block``).
 RECOMPUTE = "recompute"
+#: A persisted block was packed into the serialized off-heap tier
+#: (``size`` is the packed byte count; the native ALLOC events carry
+#: the placement itself).
+SERIALIZE = "serialize"
+#: One partition of a serialized-tier block was unpacked on access
+#: (``size`` is the deserialised byte count — the CPU paid is charged
+#: through the cost plane, this event only annotates it).
+DESERIALIZE = "deserialize"
 
 #: Event kinds that move a live object between two spaces.
 MOVE_KINDS = frozenset(
@@ -58,7 +66,17 @@ REPLAYED_KINDS = frozenset({ALLOC, FREE, GC_PAUSE} | MOVE_KINDS)
 #: placement whose ALLOC/PROMOTE event carries the real byte movement;
 #: THROTTLE and RECOMPUTE describe time, not placement.
 INFORMATIONAL_KINDS = frozenset(
-    {SPILL, DROP, UNPERSIST, TAG_RECOGNIZED, FALLBACK, THROTTLE, RECOMPUTE}
+    {
+        SPILL,
+        DROP,
+        UNPERSIST,
+        TAG_RECOGNIZED,
+        FALLBACK,
+        THROTTLE,
+        RECOMPUTE,
+        SERIALIZE,
+        DESERIALIZE,
+    }
 )
 #: The dynamic-migration kinds (always cross the DRAM/NVM boundary).
 MIGRATE_KINDS = frozenset({MIGRATE_DRAM_TO_NVM, MIGRATE_NVM_TO_DRAM})

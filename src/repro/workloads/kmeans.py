@@ -47,8 +47,14 @@ def build_kmeans(
     k: int = 4,
     seed: int = 11,
     dataset: Optional[DatasetSpec] = None,
+    persist_level: StorageLevel = StorageLevel.MEMORY_ONLY,
 ) -> WorkloadSpec:
-    """Build the K-Means program (Lloyd's algorithm)."""
+    """Build the K-Means program (Lloyd's algorithm).
+
+    ``persist_level`` selects how the cached ``points`` RDD is stored —
+    the GC-vs-serialization experiment flips it between ``MEMORY_ONLY``
+    (object heap) and ``MEMORY_ONLY_SER`` (serialized off-heap tier).
+    """
     ds = dataset or ml_points(scale=scale, seed=seed)
     dim = len(ds.records[0][1])
     rng = random.Random(seed)
@@ -79,7 +85,7 @@ def build_kmeans(
     lines = p.let("lines", p.source(ds))
     points = p.let(
         "points",
-        lines.map(lambda r: r).persist(StorageLevel.MEMORY_ONLY),
+        lines.map(lambda r: r).persist(persist_level),
     )
     with p.loop(iterations):
         closest = p.let("closest", points.map(assign, size_factor=1.0))

@@ -29,8 +29,14 @@ def build_logistic_regression(
     learning_rate: float = 0.1,
     seed: int = 11,
     dataset: Optional[DatasetSpec] = None,
+    persist_level: StorageLevel = StorageLevel.MEMORY_ONLY,
 ) -> WorkloadSpec:
-    """Build the LR program (batch gradient descent, binary labels)."""
+    """Build the LR program (batch gradient descent, binary labels).
+
+    ``persist_level`` selects how the cached ``points`` RDD is stored —
+    the GC-vs-serialization experiment flips it between ``MEMORY_ONLY``
+    (object heap) and ``MEMORY_ONLY_SER`` (serialized off-heap tier).
+    """
     ds = dataset or ml_points(scale=scale, seed=seed)
     dim = len(ds.records[0][1])
     rng = random.Random(seed + 1)
@@ -61,7 +67,7 @@ def build_logistic_regression(
     p = Program()
     lines = p.let("lines", p.source(ds))
     points = p.let(
-        "points", lines.map(lambda r: r).persist(StorageLevel.MEMORY_ONLY)
+        "points", lines.map(lambda r: r).persist(persist_level)
     )
     with p.loop(iterations):
         grads = p.let("grads", points.map(gradient, size_factor=1.0))

@@ -44,8 +44,14 @@ def build_pagerank(
     iterations: int = 15,
     seed: int = 7,
     dataset: Optional[DatasetSpec] = None,
+    persist_level: StorageLevel = StorageLevel.MEMORY_AND_DISK_SER,
 ) -> WorkloadSpec:
-    """Build the PageRank program of Figure 2(a)."""
+    """Build the PageRank program of Figure 2(a).
+
+    ``persist_level`` selects how the per-iteration ``contribs`` RDD is
+    stored — the GC-vs-serialization experiment flips it between the
+    default object-heap form and ``MEMORY_ONLY_SER`` (serialized tier).
+    """
     ds = dataset or pagerank_graph(scale=scale, seed=seed)
     n_vertices = len({src for src, _ in ds.records})
     fanout = max(1.0, len(ds.records) / max(1, n_vertices))
@@ -66,7 +72,7 @@ def build_pagerank(
             links.join(ranks)
             .values()
             .flat_map(_contribs_record, size_factor=0.8)
-            .persist(StorageLevel.MEMORY_AND_DISK_SER),
+            .persist(persist_level),
         )
         ranks = p.let(
             "ranks",

@@ -31,6 +31,42 @@ class TestAnalyze:
         assert code == 0
         assert "flipped to DRAM" in out
 
+    def test_placements_and_ser_candidates(self, capsys):
+        code, out = run_cli(capsys, "analyze", "PR", "--iterations", "3")
+        assert code == 0
+        assert "[object-heap-dram]" in out
+        assert "serialization candidates" in out and "contribs" in out
+
+    def test_persist_override_routes_to_tier(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "analyze",
+            "KM",
+            "--iterations",
+            "3",
+            "--persist",
+            "MEMORY_ONLY_SER",
+        )
+        assert code == 0
+        assert "[serialized-nvm]" in out
+
+
+class TestRunPersistOverride:
+    def test_run_with_serialized_persist(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "run",
+            "KM",
+            "--scale",
+            "0.02",
+            "--iterations",
+            "3",
+            "--persist",
+            "MEMORY_ONLY_SER",
+        )
+        assert code == 0
+        assert "KM [panthera]" in out
+
 
 class TestRun:
     ARGS = ("--scale", "0.02", "--iterations", "3")
