@@ -209,11 +209,16 @@ MICRO_BENCHES: Dict[str, Any] = {
     "micro.ser_roundtrip": (setup_ser_roundtrip, 50),
 }
 
-#: (workload, policy) cells measured as end-to-end experiments.
+#: (workload, policy) cells measured as end-to-end experiments.  The
+#: ``deca`` cells are newer than some committed baselines — the compare
+#: gate reports them as advisory "new key" entries until the baseline
+#: is refreshed.
 EXPERIMENT_CELLS = [
     ("PR", PolicyName.PANTHERA),
     ("PR", PolicyName.DRAM_ONLY),
     ("CC", PolicyName.PANTHERA),
+    ("PR", PolicyName.DECA),
+    ("KM", PolicyName.DECA),
 ]
 QUICK_EXPERIMENT_CELLS = [("PR", PolicyName.PANTHERA)]
 #: The serialized-tier A/B pair: the same KM cell persisted in the
@@ -622,14 +627,22 @@ _COMPARE_METRIC = {
 
 
 class CompareReport:
-    """Outcome of diffing two benchmark documents."""
+    """Outcome of diffing two benchmark documents.
 
-    __slots__ = ("lines", "regressions", "improvements")
+    ``new_keys`` lists benchmarks present in the current run but absent
+    from the baseline (e.g. freshly added ``deca.*`` cells before the
+    committed baseline is refreshed).  They are advisory: never counted
+    as regressions, so a candidate adding suites cannot hard-fail the
+    gate against an older baseline.
+    """
+
+    __slots__ = ("lines", "regressions", "improvements", "new_keys")
 
     def __init__(self) -> None:
         self.lines: List[str] = []
         self.regressions: List[str] = []
         self.improvements: List[str] = []
+        self.new_keys: List[str] = []
 
 
 def compare_documents(
@@ -651,8 +664,14 @@ def compare_documents(
         name = record["name"]
         metric = _COMPARE_METRIC.get(record.get("kind", ""), None)
         base = base_by_name.pop(name, None)
-        if metric is None or base is None or metric not in base:
-            report.lines.append(f"{name}: no baseline (skipped)")
+        if base is None:
+            report.new_keys.append(name)
+            report.lines.append(
+                f"{name}: new key, no baseline (advisory, skipped)"
+            )
+            continue
+        if metric is None or metric not in base or metric not in record:
+            report.lines.append(f"{name}: no baseline metric (skipped)")
             continue
         old = float(base[metric])
         new = float(record[metric])

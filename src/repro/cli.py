@@ -132,14 +132,16 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    """``repro compare``: the three main policies side by side."""
+    """``repro compare``: selected policies side by side."""
     from repro.harness.engine import ExperimentEngine, ExperimentPoint
 
-    policies = {
-        "dram-only": PolicyName.DRAM_ONLY,
-        "unmanaged": PolicyName.UNMANAGED,
-        "panthera": PolicyName.PANTHERA,
-    }
+    names = getattr(args, "policies", None) or [
+        "dram-only",
+        "unmanaged",
+        "panthera",
+    ]
+    policies = {name: _POLICY_CHOICES[name] for name in names}
+    baseline = names[0]
     engine = ExperimentEngine(jobs=getattr(args, "jobs", 1))
     points = [
         ExperimentPoint(
@@ -154,7 +156,7 @@ def cmd_compare(args) -> int:
     results = dict(zip(policies.keys(), engine.run(points)))
     for result in results.values():
         print(summarize(result))
-    normalized = normalize_results(results, "dram-only")
+    normalized = normalize_results(results, baseline)
     rows = [
         [name, values["time"], values["energy"]]
         for name, values in normalized.items()
@@ -448,6 +450,21 @@ def cmd_analyze(args) -> int:
     if analysis.ser_candidates:
         names = ", ".join(sorted(analysis.ser_candidates))
         print(f"  serialization candidates (NVM-tagged persists): {names}")
+    if analysis.tier_inactive:
+        names = ", ".join(sorted(analysis.tier_inactive))
+        print(
+            "  note: SERIALIZED_TIER is off — serialized-level persists "
+            f"stay on the object heap: {names}"
+        )
+    if getattr(args, "lifetimes", False):
+        from repro.core.static_analysis import classify_lifetimes
+
+        lifetime = classify_lifetimes(spec.program)
+        print("  Deca lifetime classes:")
+        for var, cls in lifetime.classes.items():
+            print(
+                f"  {var:12s} -> {cls.value:13s} {lifetime.rationale[var]}"
+            )
     return 0
 
 
@@ -468,18 +485,26 @@ def cmd_matrix(args) -> int:
                 flush=True,
             )
 
+    from repro.harness.matrix import DEFAULT_POLICIES
+
+    policies = (
+        tuple(_POLICY_CHOICES[name] for name in args.policies)
+        if getattr(args, "policies", None)
+        else DEFAULT_POLICIES
+    )
     matrix = run_matrix(
         scale=args.scale,
         heap_gb=args.heap,
         dram_ratio=args.ratio,
         workloads=args.workloads,
+        policies=policies,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         on_event=on_event,
         trace=args.trace,
     )
     print()
-    print(matrix_report(matrix))
+    print(matrix_report(matrix, baseline=policies[0].value))
     if args.trace:
         for workload, results in matrix.items():
             for policy, result in results.items():
@@ -588,6 +613,16 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="run DRAM-only / unmanaged / Panthera side by side"
     )
     _add_common(compare_parser)
+    compare_parser.add_argument(
+        "--policies",
+        nargs="+",
+        choices=sorted(_POLICY_CHOICES),
+        default=None,
+        metavar="POLICY",
+        help="policies to compare, first is the normalisation baseline "
+        "(default: dram-only unmanaged panthera; e.g. "
+        "--policies panthera deca for the rival-policy ablation)",
+    )
     compare_parser.add_argument(
         "--jobs",
         type=_positive_int,
@@ -843,6 +878,11 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze", help="show the §3 static analysis for a workload"
     )
     _add_common(analyze_parser)
+    analyze_parser.add_argument(
+        "--lifetimes",
+        action="store_true",
+        help="also show the Deca lifetime classification (arXiv 1602.01959)",
+    )
     analyze_parser.set_defaults(fn=cmd_analyze)
 
     bench_parser = sub.add_parser(
@@ -903,6 +943,15 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=None,
         help="subset of PR KM LR TC CC SSSP BC (default: all)",
+    )
+    matrix_parser.add_argument(
+        "--policies",
+        nargs="+",
+        choices=sorted(_POLICY_CHOICES),
+        default=None,
+        metavar="POLICY",
+        help="policies to run, first is the normalisation baseline "
+        "(default: dram-only unmanaged panthera)",
     )
     matrix_parser.add_argument(
         "--jobs",

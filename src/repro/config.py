@@ -180,6 +180,10 @@ class PolicyName(enum.Enum):
     PANTHERA = "panthera"
     KINGSGUARD_NURSERY = "kingsguard-nursery"
     KINGSGUARD_WRITES = "kingsguard-writes"
+    #: Deca-style lifetime-based region allocation (arXiv 1602.01959):
+    #: RDD data lives in bump-pointer arenas freed wholesale at stage/job
+    #: boundaries instead of being traced by the generational collector.
+    DECA = "deca"
 
 
 @dataclass(frozen=True)

@@ -77,6 +77,9 @@ class StaticAnalysis:
             where dropping GC tracing beats paying deserialisation,
             arXiv 2111.10589).  Advisory: the decision stays with the
             developer-written storage level.
+        tier_inactive: variables whose persist level *would* route to
+            the serialized tier, reported with their legacy object-heap
+            placement because ``SERIALIZED_TIER`` is off.
     """
 
     tags: Dict[str, Optional[MemoryTag]]
@@ -85,6 +88,7 @@ class StaticAnalysis:
     loops: List[LoopInfo]
     placements: Dict[str, Placement] = field(default_factory=dict)
     ser_candidates: Set[str] = field(default_factory=set)
+    tier_inactive: Set[str] = field(default_factory=set)
 
     def tag_of(self, var: str) -> Optional[MemoryTag]:
         """Tag for one variable (None if untagged/unknown)."""
@@ -219,13 +223,24 @@ def analyze_program(program: Program) -> StaticAnalysis:
     # The three-way placement: the developer-written level decides the
     # serialized tier (per the live SERIALIZED_TIER routing); the tag
     # inference decides DRAM-heap vs NVM-heap for everything else.
-    from repro.spark.storage import serialized_tier_active
+    from repro.spark.storage import (
+        routes_to_serialized_tier,
+        serialized_tier_active,
+    )
 
     tier_routed = {
         p.var
         for p in points
         if p.level is not None and serialized_tier_active(p.level)
     }
+    # Levels that *would* route to the tier but hit an inactive flag are
+    # reported with their legacy object-heap placement, flagged so the
+    # report does not silently look like a tier placement decision.
+    tier_inactive = {
+        p.var
+        for p in points
+        if p.level is not None and routes_to_serialized_tier(p.level)
+    } - tier_routed
     placements = {
         var: placement_for(tag, var in tier_routed)
         for var, tag in tags.items()
@@ -233,6 +248,11 @@ def analyze_program(program: Program) -> StaticAnalysis:
     for var in tier_routed:
         rationale[var] += (
             "; placed in the serialized tier (level routes off-heap)"
+        )
+    for var in tier_inactive:
+        rationale[var] += (
+            "; level routes to the serialized tier, but SERIALIZED_TIER "
+            "is off: legacy object-heap placement"
         )
 
     return StaticAnalysis(
@@ -242,7 +262,83 @@ def analyze_program(program: Program) -> StaticAnalysis:
         loops=loops,
         placements=placements,
         ser_candidates=ser_candidates,
+        tier_inactive=tier_inactive,
     )
+
+
+@dataclass
+class LifetimeAnalysis:
+    """The Deca lifetime classification of one program (arXiv 1602.01959).
+
+    Attributes:
+        classes: variable -> :class:`~repro.heap.regions.LifetimeClass`
+            for every variable the program defines.
+        rationale: human-readable explanation per variable.
+    """
+
+    classes: Dict[str, "LifetimeClass"]
+    rationale: Dict[str, str]
+
+    def class_of(self, var: str):
+        """Lifetime class for one variable (None if unknown)."""
+        return self.classes.get(var)
+
+
+def classify_lifetimes(program: Program) -> LifetimeAnalysis:
+    """Bucket a program's variables into Deca's lifetime classes.
+
+    The classification runs over the same pre-order walk as the tag
+    inference:
+
+    * a variable materialised with a persist level is *job-long* — its
+      blocks are cached across stages and (absent unpersist support,
+      §5.5) the analysis can only prove death at job end;
+    * a variable materialised by actions only is *stage-local* — its
+      blocks exist to feed one action's final stage;
+    * a variable never materialised is *UDF-ephemeral* — it only ever
+      flows through operators as streaming tuples.
+    """
+    from repro.heap.regions import LifetimeClass
+
+    loops: List[LoopInfo] = []
+    points: List[MaterializationPoint] = []
+    defs: Dict[str, List[int]] = {}
+    uses: Dict[str, List[int]] = {}
+    _collect(program.statements(), [0], loops, points, defs, uses)
+
+    persisted = {p.var for p in points if p.level is not None}
+    actioned = {p.var for p in points if p.level is None}
+    per_iteration = set()
+    for loop in loops:
+        for var, positions in defs.items():
+            if any(loop.start < p <= loop.end for p in positions):
+                per_iteration.add(var)
+
+    classes: Dict[str, LifetimeClass] = {}
+    rationale: Dict[str, str] = {}
+    for var in defs:
+        if var in persisted:
+            classes[var] = LifetimeClass.JOB
+            why = "persisted: blocks outlive their stage, freed at job end"
+            if var in per_iteration:
+                why += (
+                    "; redefined per iteration — superseded regions are "
+                    "reclaimed by region-grained eviction under pressure"
+                )
+        elif var in actioned:
+            classes[var] = LifetimeClass.STAGE
+            why = (
+                "materialised by an action only: blocks die with the "
+                "action's final stage"
+            )
+        else:
+            classes[var] = LifetimeClass.EPHEMERAL
+            why = (
+                "never materialised: flows through operators as "
+                "streaming tuples"
+            )
+        rationale[var] = why
+    return LifetimeAnalysis(classes=classes, rationale=rationale)
 
 
 def _infer_for_point(

@@ -299,12 +299,48 @@ class KingsguardWritesPolicy(PlacementPolicy):
         return self.WRITE_BARRIER_NS
 
 
+class DecaPolicy(PlacementPolicy):
+    """Deca's lifetime-based region allocation (arXiv 1602.01959).
+
+    Most heap bytes bypass the generational collector entirely: RDD data
+    classified by lifetime lands in bump-pointer arenas managed by
+    :class:`~repro.heap.regions.RegionManager` and freed wholesale at
+    stage/job boundaries.  The traced old generation shrinks to a small
+    reserve (``OLD_RESERVE_FRACTION`` of the nominal old generation) that
+    only holds unclassified survivors the minor GC tenures — the arenas
+    take the rest of the old-generation budget.
+    """
+
+    name = PolicyName.DECA
+
+    #: Fraction of the nominal old generation kept as a traced reserve
+    #: for unclassified survivors; the arenas get the remainder.
+    OLD_RESERVE_FRACTION = 0.25
+
+    def build_old_spaces(self, base: int) -> List[Space]:
+        config = self.config
+        reserve = max(1, int(config.old_gen_bytes * self.OLD_RESERVE_FRACTION))
+        device = (
+            DeviceKind.DRAM
+            if config.old_dram_bytes >= reserve
+            else DeviceKind.NVM
+        )
+        return [Space("old", base, reserve, "old", device=device)]
+
+    def array_allocation_space(self, heap, tag, size) -> Space:
+        return heap.old_space_named("old")
+
+    def promotion_space(self, heap, obj) -> Space:
+        return heap.old_space_named("old")
+
+
 _POLICIES = {
     PolicyName.DRAM_ONLY: DramOnlyPolicy,
     PolicyName.UNMANAGED: UnmanagedPolicy,
     PolicyName.PANTHERA: PantheraPolicy,
     PolicyName.KINGSGUARD_NURSERY: KingsguardNurseryPolicy,
     PolicyName.KINGSGUARD_WRITES: KingsguardWritesPolicy,
+    PolicyName.DECA: DecaPolicy,
 }
 
 

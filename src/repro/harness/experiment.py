@@ -7,7 +7,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.config import DeviceKind, PolicyName, SystemConfig
-from repro.core.static_analysis import StaticAnalysis, analyze_program
+from repro.core.static_analysis import (
+    StaticAnalysis,
+    analyze_program,
+    classify_lifetimes,
+)
 from repro.faults import FaultInjector, FaultPlan, FaultReport
 from repro.memory.machine import Machine
 from repro.spark.context import SparkContext
@@ -155,10 +159,23 @@ def execute_spec(spec, ctx: SparkContext):
     """
     analysis: Optional[StaticAnalysis] = None
     tags: Dict[str, Any] = {}
+    lifetimes: Optional[Dict[str, Any]] = None
     if ctx.panthera_enabled:
         analysis = analyze_program(spec.program)
         tags = analysis.tags
-    action_results = execute_program(spec.program, ctx, tags)
+    elif ctx.heap.regions is not None:
+        # Deca's rival analysis: classify variable lifetimes instead of
+        # deriving memory tags.
+        lifetimes = classify_lifetimes(spec.program).classes
+    action_results = execute_program(spec.program, ctx, tags, lifetimes=lifetimes)
+    if ctx.heap.regions is not None:
+        # Job end: release the surviving region-resident blocks (their
+        # regions free wholesale) and reset every arena, so the reset
+        # costs land on this run's clock before metrics are collected.
+        for block in ctx.block_manager.blocks():
+            if not block.on_disk and block.region_resident:
+                ctx.block_manager.unpersist(block.rdd_id)
+        ctx.heap.regions.job_end()
     return action_results, analysis
 
 

@@ -81,6 +81,10 @@ class ManagedHeap:
         #: fault injector's NVM-exhaustion balloon); capacity planners
         #: (block-manager eviction) must not count them as usable.
         self.pinned_old_bytes = 0.0
+        #: optional :class:`~repro.heap.regions.RegionManager` (Deca's
+        #: lifetime arenas; None for every tracing policy).  When set,
+        #: classified allocations bypass the generational machinery.
+        self.regions = None
 
     # -- space queries -----------------------------------------------------
 
@@ -154,6 +158,8 @@ class ManagedHeap:
         """
         if nbytes < 0:
             raise HeapError("negative ephemeral allocation")
+        if self.regions is not None and self.regions.take_ephemeral(nbytes):
+            return
         # Inlined bump: this is the hottest mutator path (called for every
         # streamed batch), so the common in-bounds case pays two attribute
         # reads and an add instead of a Space.allocate call.
@@ -177,8 +183,14 @@ class ManagedHeap:
         size: int,
         rdd_id: Optional[int] = None,
     ) -> HeapObject:
-        """Allocate a survivable object in eden (the TLAB fast path)."""
+        """Allocate a survivable object in eden (the TLAB fast path).
+
+        Under Deca, objects whose RDD has a lifetime class land in the
+        matching region arena instead (no ``alloc`` event; the arena
+        emits ``region_alloc``)."""
         obj = HeapObject(kind, size, rdd_id=rdd_id)
+        if self.regions is not None and self.regions.take_object(obj):
+            return obj
         if size > self.eden.size:
             raise HeapError(
                 f"object of {size} bytes cannot fit in eden; use "
@@ -205,6 +217,8 @@ class ManagedHeap:
         collector = self._require_collector()
         tag = self.tag_wait.consume_for_array(size)
         obj = HeapObject(ObjKind.RDD_ARRAY, size, rdd_id=rdd_id)
+        if self.regions is not None and self.regions.take_object(obj):
+            return obj
         if tag is not None:
             obj.set_tag(tag)
         elif size < self.config.large_array_threshold and size <= self.eden.size:

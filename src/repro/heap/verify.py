@@ -43,6 +43,8 @@ def verify_heap(heap: ManagedHeap, raise_on_error: bool = False) -> List[str]:
     """
     problems: List[str] = []
     all_spaces = heap.young_spaces + heap.old_spaces
+    if heap.regions is not None:
+        all_spaces = all_spaces + heap.regions.spaces
     residency = {}
 
     for space in all_spaces:
@@ -102,6 +104,12 @@ def verify_heap(heap: ManagedHeap, raise_on_error: bool = False) -> List[str]:
     for obj in heap.card_table.tracked():
         if obj.addr is None or obj.space is None:
             problems.append(f"card table tracks unplaced object #{obj.oid}")
+        elif obj.space.generation == "region":
+            # Region arenas are invisible to the collector: a tracked
+            # region object would be scanned by GCs that never free it.
+            problems.append(
+                f"card table tracks region-resident object #{obj.oid}"
+            )
         elif obj.padded and (obj.addr + obj.size) % heap.config.card_size != 0:
             # A padded array's allocation ends on a boundary; its payload
             # may not, but then the pad region is exclusively its own —

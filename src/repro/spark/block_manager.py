@@ -65,14 +65,16 @@ class BlockManager:
     def in_memory_bytes(self) -> float:
         """Data bytes of heap-resident blocks.
 
-        Serialized-tier blocks are excluded: their payload lives in the
-        native region, so it never competes with the old generation the
-        capacity machinery guards.
+        Serialized-tier and region-resident blocks are excluded: their
+        payload lives in the native region / Deca arenas, so it never
+        competes with the old generation the capacity machinery guards.
         """
         return sum(
             b.data_bytes
             for b in self._blocks.values()
-            if not b.on_disk and not b.in_serialized_tier
+            if not b.on_disk
+            and not b.in_serialized_tier
+            and not b.region_resident
         )
 
     def serialized_tier_bytes(self) -> float:
@@ -103,7 +105,9 @@ class BlockManager:
 
         Serialized-tier blocks additionally free their native batches
         explicitly — nothing else ever reclaims native memory (legacy
-        OFF_HEAP blocks live until the end of the run, §4.1)."""
+        OFF_HEAP blocks live until the end of the run, §4.1).
+        Region-resident blocks free their whole region (Deca's
+        wholesale container free)."""
         self.heap.remove_root(block.top)
         for array in block.arrays:
             if self.heap.card_table.is_registered(array):
@@ -111,6 +115,8 @@ class BlockManager:
         if block.in_serialized_tier:
             for array in block.arrays:
                 self.heap.free_native(array)
+        if self.heap.regions is not None:
+            self.heap.regions.free_block(block)
 
     # -- memory pressure ------------------------------------------------------------
 
@@ -155,16 +161,36 @@ class BlockManager:
         return capacity - self.in_memory_bytes()
 
     def _pick_victim(self) -> Optional[MaterializedBlock]:
-        # Serialized-tier blocks occupy native memory, not the old
-        # generation — evicting one frees nothing the caller needs.
+        # Serialized-tier and region-resident blocks occupy native
+        # memory / Deca arenas, not the old generation — evicting one
+        # frees nothing the caller needs.
         candidates = [
             b
             for b in self._blocks.values()
-            if not b.on_disk and not b.in_serialized_tier
+            if not b.on_disk
+            and not b.in_serialized_tier
+            and not b.region_resident
         ]
         if not candidates:
             return None
         return min(candidates, key=lambda b: b.last_used)
+
+    def evict_region_victim(self) -> bool:
+        """Evict the LRU region-resident block (Deca's region-grained
+        pressure path: the victim's whole region frees at once).
+
+        Returns:
+            True when a victim was evicted.
+        """
+        candidates = [
+            b
+            for b in self._blocks.values()
+            if not b.on_disk and b.region_resident
+        ]
+        if not candidates:
+            return False
+        self._evict(min(candidates, key=lambda b: b.last_used))
+        return True
 
     def _evict(self, block: MaterializedBlock) -> None:
         """Spill (disk-capable levels) or drop (MEMORY_ONLY) one block."""

@@ -101,6 +101,13 @@ class SparkContext:
         if config.policy is PolicyName.PANTHERA:
             monitor = AccessMonitor(machine)
             runtime = PantheraRuntime(heap, monitor)
+        elif config.policy is PolicyName.DECA:
+            # Deca replaces Panthera's tag machinery with lifetime
+            # arenas: no monitor, no runtime — the region manager is
+            # the whole placement mechanism.
+            from repro.heap.regions import RegionManager
+
+            RegionManager.attach(heap)
         collector = Collector(heap, machine, policy, monitor=monitor)
         return cls(
             config,

@@ -65,6 +65,19 @@ class MaterializedBlock:
         (no object-heap structure, no GC tracing)."""
         return self.ser_batches is not None
 
+    @property
+    def region_resident(self) -> bool:
+        """Whether this block's objects live in Deca region arenas.
+
+        Region-resident blocks are freed by wholesale arena resets, never
+        by GC or block-manager eviction, so capacity planners must not
+        count them against the traced old generation."""
+        objs = self.arrays if self.arrays else [self.top]
+        return any(
+            o.space is not None and o.space.generation == "region"
+            for o in objs
+        )
+
     def partition_records(self, pidx: int) -> List[Record]:
         """The record list of one partition, unpacking serialized-tier
         batches on demand (every access re-deserialises — that is the
@@ -195,8 +208,16 @@ class Materializer:
                     slab_bytes - slab_size * (n_slabs - 1)
                 )
                 slab = heap.new_object(ObjKind.DATA, max(size, 0), rdd.id)
+                # Slabs land in eden (DRAM) under the tracing policies;
+                # under Deca the region arena may be NVM-backed, so the
+                # write is charged to the slab's actual device.
+                slab_device = (
+                    slab.space.device_of(slab.addr)
+                    if slab.space is not None and slab.addr is not None
+                    else DeviceKind.DRAM
+                )
                 self.machine.access(
-                    DeviceKind.DRAM,
+                    slab_device,
                     write_bytes=slab.size,
                     threads=threads,
                     cpu_ns=slab.size * costs.cpu_ns_per_byte / threads,

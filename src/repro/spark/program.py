@@ -334,13 +334,22 @@ class Program:
         return list(self.body)
 
 
-def execute_program(program: Program, ctx, tags: Dict[str, Any]) -> Dict[str, Any]:
+def execute_program(
+    program: Program,
+    ctx,
+    tags: Dict[str, Any],
+    lifetimes: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """Run a program against a SparkContext.
 
     Args:
         program: the IR to execute.
         tags: variable -> :class:`~repro.core.tags.MemoryTag` map from the
             static analysis (empty for non-Panthera runs).
+        lifetimes: variable -> :class:`~repro.heap.regions.LifetimeClass`
+            map from the Deca lifetime analysis (None for tracing
+            policies); annotated onto each materialised RDD the same way
+            tags are.
 
     Returns:
         Action results keyed by ``result_key`` (or ``action<N>``).
@@ -363,6 +372,8 @@ def execute_program(program: Program, ctx, tags: Dict[str, Any]) -> Dict[str, An
             if expr.persist_level is not None:
                 rdd.persist(expr.persist_level)
                 rdd.memory_tag = tags.get(var) if var is not None else None
+                if lifetimes is not None and var is not None:
+                    rdd.lifetime = lifetimes.get(var)
             return rdd
         raise AnalysisError(f"unknown expression type {type(expr).__name__}")
 
@@ -380,6 +391,12 @@ def execute_program(program: Program, ctx, tags: Dict[str, Any]) -> Dict[str, An
                 rdd = eval_expr(stmt.expr, var)
                 if var is not None and rdd.memory_tag is None:
                     rdd.memory_tag = tags.get(var)
+                if (
+                    lifetimes is not None
+                    and var is not None
+                    and rdd.lifetime is None
+                ):
+                    rdd.lifetime = lifetimes.get(var)
                 key = stmt.result_key or f"action{counter['n']}"
                 counter["n"] += 1
                 results[key] = ctx.scheduler.run_action(rdd, stmt.action)

@@ -88,6 +88,10 @@ class RDD:
         #: by the driver before execution); propagated tags are handled at
         #: runtime by the scheduler.
         self.memory_tag: Optional[MemoryTag] = None
+        #: lifetime class assigned by the Deca analysis (None under the
+        #: tracing policies); the scheduler routes classified RDDs into
+        #: the matching region arena at materialisation.
+        self.lifetime = None
         ctx.register_rdd(self)
 
     # -- bookkeeping -------------------------------------------------------

@@ -26,6 +26,7 @@ from repro.core.tags import MemoryTag
 from repro.errors import OutOfMemoryError, SparkError
 from repro.gc import charging as _charging
 from repro.heap.object_model import ObjKind
+from repro.heap.regions import LifetimeClass
 from repro.spark.materialize import MaterializedBlock
 from repro.spark import partition as _partition
 from repro.spark.partition import _MISSING, Record
@@ -73,6 +74,18 @@ class Scheduler:
                 if self.ctx.heap.card_table.is_registered(array):
                     self.ctx.heap.card_table.unregister(array)
             self._transients.pop(block.rdd_id, None)
+            if self.ctx.heap.regions is not None:
+                # Transient stage blocks free their region the moment
+                # their scope closes (job-arena overflow extents come
+                # back here; stage-arena bytes at the reset below).
+                self.ctx.heap.regions.free_block(block)
+        if not self._scopes and self.ctx.heap.regions is not None:
+            # The outermost scope closing is a stage/action boundary:
+            # Deca frees the whole stage arena (and the ephemeral arena)
+            # in one wholesale reset — no tracing, no per-object work.
+            # Nested scopes share the arena, so only the outermost close
+            # resets it.
+            self.ctx.heap.regions.stage_boundary()
 
     # ------------------------------------------------------------------
     # actions
@@ -429,11 +442,21 @@ class Scheduler:
             in_heap_bytes = (
                 total_bytes * costs.ser_factor if level.serialized else total_bytes
             )
-            self.ctx.block_manager.ensure_capacity(
-                in_heap_bytes,
-                self.ctx.collector,
-                extra_live=self._active_transient_bytes(),
-            )
+            regions = self.ctx.heap.regions
+            if regions is not None:
+                # Deca: persisted data goes to a job-arena region, not
+                # the traced old generation — pressure is relieved by
+                # region-grained eviction, never by a full GC.
+                regions.note_rdd(rdd.id, rdd.lifetime or LifetimeClass.JOB)
+                regions.ensure_job_capacity(
+                    in_heap_bytes, self.ctx.block_manager
+                )
+            else:
+                self.ctx.block_manager.ensure_capacity(
+                    in_heap_bytes,
+                    self.ctx.collector,
+                    extra_live=self._active_transient_bytes(),
+                )
             block = self.ctx.materializer.materialize(
                 rdd, parts, tag, serialized=level.serialized
             )
@@ -571,16 +594,30 @@ class Scheduler:
         if not self._scopes:
             self._push_scope()  # defensive: an implicit outermost scope
         dep = rdd.shuffle_dep
+        regions = self.ctx.heap.regions
+        if regions is not None:
+            # Stage inputs are the canonical stage-local class: freed by
+            # the wholesale arena reset when the consuming scope closes.
+            regions.note_rdd(rdd.id, LifetimeClass.STAGE)
         if self.ctx.shuffles.has(dep.shuffle_id):
             estimate = sum(
                 self.ctx.shuffles.serialized_bytes(dep.shuffle_id, p)
                 for p in range(rdd.num_partitions)
             ) / max(self.ctx.costs.ser_factor, 1e-9)
-            self.ctx.block_manager.ensure_capacity(
-                estimate,
-                self.ctx.collector,
-                extra_live=self._active_transient_bytes(),
-            )
+            if regions is not None:
+                # Only the part the stage arena cannot take will fall
+                # over into job-arena extents.
+                overflow = estimate - regions.stage.free
+                if overflow > 0:
+                    regions.ensure_job_capacity(
+                        overflow, self.ctx.block_manager
+                    )
+            else:
+                self.ctx.block_manager.ensure_capacity(
+                    estimate,
+                    self.ctx.collector,
+                    extra_live=self._active_transient_bytes(),
+                )
         parts = [
             rdd.compute_partition(p, self) for p in range(rdd.num_partitions)
         ]

@@ -25,6 +25,8 @@ from repro.trace.events import (
     FREE,
     GC_PAUSE,
     RECOMPUTE,
+    REGION_ALLOC,
+    REGION_RESET,
     SERIALIZE,
     TAG_RECOGNIZED,
     THROTTLE,
@@ -190,6 +192,29 @@ class TraceBus:
         self.publish(
             TraceEvent(
                 DESERIALIZE, self.clock.now_ns, size=raw_bytes, rdd_id=rdd_id
+            )
+        )
+
+    def region_alloc(self, obj, lifetime: str) -> None:
+        """Publish a REGION_ALLOC event: ``obj`` was bump-allocated into
+        a lifetime region arena (informational — region bytes are outside
+        the replay oracle's per-space ledger, so no ALLOC is emitted)."""
+        fields = self._object_fields(obj)
+        fields["detail"] = f"lifetime={lifetime}"
+        self.publish(TraceEvent(REGION_ALLOC, self.clock.now_ns, **fields))
+
+    def region_reset(
+        self, space_name: str, freed_bytes: float, reason: str
+    ) -> None:
+        """Publish a REGION_RESET event: a whole arena was freed
+        wholesale at a stage/job boundary."""
+        self.publish(
+            TraceEvent(
+                REGION_RESET,
+                self.clock.now_ns,
+                size=freed_bytes,
+                space=space_name,
+                detail=reason,
             )
         )
 

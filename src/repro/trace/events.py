@@ -55,6 +55,15 @@ SERIALIZE = "serialize"
 #: (``size`` is the deserialised byte count — the CPU paid is charged
 #: through the cost plane, this event only annotates it).
 DESERIALIZE = "deserialize"
+#: An object was bump-allocated into a lifetime region arena (Deca
+#: policy).  Region arenas are invisible to the generational collector
+#: and to the replay oracle's live-bytes ledger, so this is
+#: informational: ``space`` names the arena, ``detail`` the lifetime
+#: class.
+REGION_ALLOC = "region_alloc"
+#: A whole region arena was freed wholesale at a stage/job boundary
+#: (``size`` is the byte count released, ``detail`` the reset reason).
+REGION_RESET = "region_reset"
 
 #: Event kinds that move a live object between two spaces.
 MOVE_KINDS = frozenset(
@@ -64,7 +73,9 @@ MOVE_KINDS = frozenset(
 REPLAYED_KINDS = frozenset({ALLOC, FREE, GC_PAUSE} | MOVE_KINDS)
 #: Informational kinds the replay oracle skips.  FALLBACK annotates a
 #: placement whose ALLOC/PROMOTE event carries the real byte movement;
-#: THROTTLE and RECOMPUTE describe time, not placement.
+#: THROTTLE and RECOMPUTE describe time, not placement.  REGION_ALLOC
+#: and REGION_RESET describe arenas the oracle's per-space ledger does
+#: not model (region bytes never appear in ALLOC/FREE events).
 INFORMATIONAL_KINDS = frozenset(
     {
         SPILL,
@@ -76,6 +87,8 @@ INFORMATIONAL_KINDS = frozenset(
         RECOMPUTE,
         SERIALIZE,
         DESERIALIZE,
+        REGION_ALLOC,
+        REGION_RESET,
     }
 )
 #: The dynamic-migration kinds (always cross the DRAM/NVM boundary).

@@ -99,6 +99,42 @@ class TestCompareDocuments:
             for line in report.lines
         )
 
+    def test_new_deca_cells_are_advisory_not_regressions(self):
+        # A candidate adding whole new suites (the deca.* cells) must
+        # not hard-fail against the older committed baseline: the new
+        # keys land on ``new_keys`` and never on ``regressions``.
+        report = compare_documents(
+            _doc([_experiment("experiment.PR.panthera", 1.0)]),
+            _doc(
+                [
+                    _experiment("experiment.PR.panthera", 1.0),
+                    _experiment("experiment.PR.deca", 0.9),
+                    _experiment("experiment.KM.deca", 0.8),
+                ]
+            ),
+            tolerance=0.20,
+        )
+        assert report.regressions == []
+        assert report.new_keys == [
+            "experiment.PR.deca",
+            "experiment.KM.deca",
+        ]
+        assert any(
+            "experiment.PR.deca" in line and "new key" in line
+            for line in report.lines
+        )
+
+    def test_current_record_missing_metric_key_does_not_crash(self):
+        # The baseline has the metric but the current record lost it
+        # (e.g. a schema change): advisory skip, not a KeyError.
+        baseline = _doc([_micro("micro.a", 10.0)])
+        current = _doc([{"name": "micro.a", "kind": "micro"}])
+        report = compare_documents(baseline, current, tolerance=0.20)
+        assert report.regressions == []
+        assert any(
+            "micro.a" in line and "skipped" in line for line in report.lines
+        )
+
     def test_missing_current_entry_is_reported(self):
         report = compare_documents(
             _doc([_micro("micro.gone", 10.0)]), _doc([]), tolerance=0.20
@@ -164,6 +200,23 @@ class TestBenchCompareCli:
         baseline = _write(tmp_path, "base.json", _doc([_micro("micro.a", 10.0)]))
         current = _write(tmp_path, "cur.json", _doc([_micro("micro.a", 20.0)]))
         assert bench_compare.main([baseline, current, "--tolerance", "1.5"]) == 0
+
+    def test_new_suites_in_candidate_exit_zero(self, tmp_path, capsys):
+        baseline = _write(
+            tmp_path, "base.json", _doc([_micro("micro.a", 10.0)])
+        )
+        current = _write(
+            tmp_path,
+            "cur.json",
+            _doc(
+                [
+                    _micro("micro.a", 10.0),
+                    _experiment("experiment.PR.deca", 1.0),
+                ]
+            ),
+        )
+        assert bench_compare.main([baseline, current]) == 0
+        assert "new key" in capsys.readouterr().out
 
     def test_clean_run_exits_zero(self, tmp_path, capsys):
         baseline = _write(tmp_path, "base.json", _doc([_micro("micro.a", 10.0)]))
