@@ -198,6 +198,28 @@ def setup_ser_roundtrip() -> Callable[[], None]:
     return roundtrip
 
 
+def setup_columnar_kernel() -> Callable[[], None]:
+    """The columnar plane's hot path over one 4096-record numeric
+    partition: pack into a :class:`~repro.spark.columnar.ColumnBatch`,
+    run the grouped vector+count fold kernel (the KM/LR/NB aggregation
+    shape) and split the fold across shuffle buckets."""
+    from repro.spark import columnar as _columnar
+    from repro.spark.partition import HashPartitioner
+
+    records = [
+        (i % 64, ((0.5 * i, -0.25 * i, 1.0 + i), 1)) for i in range(4096)
+    ]
+    part = HashPartitioner(8)
+    kernel = _columnar.make_vec_count_merge_kernel()
+
+    def run() -> None:
+        batch = _columnar.ColumnBatch.from_records(records)
+        folded = kernel(batch)
+        _columnar.split_batch(folded, part)
+
+    return run
+
+
 #: name -> (setup, inner iterations per round)
 MICRO_BENCHES: Dict[str, Any] = {
     "micro.ephemeral_churn": (setup_ephemeral_churn, 20),
@@ -207,6 +229,7 @@ MICRO_BENCHES: Dict[str, Any] = {
     "micro.charge_rows": (setup_charge_rows, 20),
     "micro.static_analysis": (setup_static_analysis, 20),
     "micro.ser_roundtrip": (setup_ser_roundtrip, 50),
+    "micro.columnar_kernel": (setup_columnar_kernel, 50),
 }
 
 #: (workload, policy) cells measured as end-to-end experiments.  The
@@ -228,6 +251,14 @@ QUICK_EXPERIMENT_CELLS = [("PR", PolicyName.PANTHERA)]
 SERTIER_CELLS = [
     ("sertier.KM.object", "MEMORY_ONLY"),
     ("sertier.KM.serialized", "MEMORY_ONLY_SER"),
+]
+#: The columnar-plane A/B pair: the same KM cell executed with
+#: whole-batch kernels (``COLUMNAR_DATA_PLANE`` on) vs per-record UDF
+#: calls (flag off).  Simulated results are byte-identical by the house
+#: rule; the wall-time gap is the speedup the plane buys.
+COLUMNAR_CELLS = [
+    ("experiment.KM.columnar", True),
+    ("experiment.KM.record", False),
 ]
 #: Experiment cells run at paper scale 1.0 (up from 0.02 before the
 #: data-plane overhaul) so the gate actually measures per-record costs.
@@ -398,6 +429,41 @@ def run_sertier_bench(
     }
 
 
+def run_columnar_bench(
+    name: str, enabled: bool, rounds: int = EXPERIMENT_ROUNDS
+) -> Dict[str, Any]:
+    """Measure one columnar-plane A/B cell (KM with the flag forced);
+    returns its record.  Same protocol as the experiment cells."""
+    from repro.spark import columnar as _columnar
+
+    config = paper_config(64, 1 / 3, PolicyName.PANTHERA, EXPERIMENT_SCALE)
+
+    def cell():
+        saved = _columnar.COLUMNAR_DATA_PLANE
+        _columnar.COLUMNAR_DATA_PLANE = enabled
+        try:
+            return run_experiment(
+                "KM",
+                config,
+                scale=EXPERIMENT_SCALE,
+                workload_kwargs={"iterations": EXPERIMENT_ITERATIONS},
+            )
+        finally:
+            _columnar.COLUMNAR_DATA_PLANE = saved
+
+    best_wall, result = _timed_best_of(cell, rounds)
+    return {
+        "name": name,
+        "kind": "experiment",
+        "rounds": max(1, rounds),
+        "wall_s": best_wall,
+        "sim_s": result.elapsed_s,
+        "sim_per_wall": result.elapsed_s / best_wall if best_wall > 0 else 0.0,
+        "minor_gcs": result.minor_gcs,
+        "major_gcs": result.major_gcs,
+    }
+
+
 def run_cluster_bench(
     suffix: str, executors: int, max_jobs: int, rounds: int = CLUSTER_ROUNDS
 ) -> Dict[str, Any]:
@@ -539,56 +605,109 @@ def peak_rss_kb() -> int:
     return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
+def _profiled(fn: Callable[[], Any], top: int = 20):
+    """Run ``fn`` under :mod:`cProfile`; returns ``(result, report)``
+    where ``report`` is the top-``top`` functions by ``tottime``."""
+    import cProfile
+    import io
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        result = fn()
+    finally:
+        prof.disable()
+    buf = io.StringIO()
+    pstats.Stats(prof, stream=buf).sort_stats("tottime").print_stats(top)
+    return result, buf.getvalue()
+
+
 def run_bench_suite(
     quick: bool = False,
     rounds: Optional[int] = None,
     log: Optional[Callable[[str], None]] = None,
     scale_sweep: bool = False,
+    profile: bool = False,
 ) -> Dict[str, Any]:
     """Run the full benchmark suite; returns the JSON-ready document.
 
     With ``scale_sweep`` the sweep records (see :func:`run_scale_sweep`)
     are appended to the document after the micro and experiment suites.
+    With ``profile`` each suite runs under :mod:`cProfile` and the
+    document carries a ``profiles`` map (suite name -> top-20 ``tottime``
+    report) so "what's the bottleneck now" is answerable from any run.
+    Profiling inflates the timings — never compare a profiled document
+    against an unprofiled baseline.
     """
     emit = log or (lambda _line: None)
     rounds = rounds or (3 if quick else 5)
     records: List[Dict[str, Any]] = []
-    for name, (setup, inner) in MICRO_BENCHES.items():
-        record = run_micro_bench(name, setup, inner, rounds)
-        records.append(record)
-        emit(
-            f"  {record['name']:28s} {record['per_iter_us']:9.1f} us/iter "
-            f"({rounds} rounds x {inner})"
-        )
-    cells = QUICK_EXPERIMENT_CELLS if quick else EXPERIMENT_CELLS
-    for workload, policy in cells:
-        record = run_experiment_bench(workload, policy)
-        records.append(record)
+    profiles: Dict[str, str] = {}
+
+    def run_suite(suite_name: str, suite: Callable[[], None]) -> None:
+        if profile:
+            _, profiles[suite_name] = _profiled(suite)
+        else:
+            suite()
+
+    def micro_suite() -> None:
+        for name, (setup, inner) in MICRO_BENCHES.items():
+            record = run_micro_bench(name, setup, inner, rounds)
+            records.append(record)
+            emit(
+                f"  {record['name']:28s} {record['per_iter_us']:9.1f} us/iter "
+                f"({rounds} rounds x {inner})"
+            )
+
+    def _emit_experiment(record: Dict[str, Any]) -> None:
         emit(
             f"  {record['name']:28s} {record['wall_s']:9.2f} s wall, "
             f"{record['sim_s']:.2f} s simulated "
             f"({record['sim_per_wall']:.2f} sim-s/wall-s)"
         )
-    for name, level_name in SERTIER_CELLS:
-        record = run_sertier_bench(name, level_name)
-        records.append(record)
-        emit(
-            f"  {record['name']:28s} {record['wall_s']:9.2f} s wall, "
-            f"{record['sim_s']:.2f} s simulated "
-            f"({record['sim_per_wall']:.2f} sim-s/wall-s)"
-        )
-    cluster_cells = QUICK_CLUSTER_CELLS if quick else CLUSTER_CELLS
-    for suffix, executors, max_jobs in cluster_cells:
-        record = run_cluster_bench(suffix, executors, max_jobs)
-        records.append(record)
-        emit(
-            f"  {record['name']:28s} {record['wall_s']:9.2f} s wall, "
-            f"{record['n_jobs']} jobs on {executors} executors "
-            f"({record['sim_per_wall']:.2f} sim-s/wall-s)"
-        )
+
+    def experiment_suite() -> None:
+        cells = QUICK_EXPERIMENT_CELLS if quick else EXPERIMENT_CELLS
+        for workload, policy in cells:
+            record = run_experiment_bench(workload, policy)
+            records.append(record)
+            _emit_experiment(record)
+
+    def sertier_suite() -> None:
+        for name, level_name in SERTIER_CELLS:
+            record = run_sertier_bench(name, level_name)
+            records.append(record)
+            _emit_experiment(record)
+
+    def columnar_suite() -> None:
+        for name, enabled in COLUMNAR_CELLS:
+            record = run_columnar_bench(name, enabled)
+            records.append(record)
+            _emit_experiment(record)
+
+    def cluster_suite() -> None:
+        cluster_cells = QUICK_CLUSTER_CELLS if quick else CLUSTER_CELLS
+        for suffix, executors, max_jobs in cluster_cells:
+            record = run_cluster_bench(suffix, executors, max_jobs)
+            records.append(record)
+            emit(
+                f"  {record['name']:28s} {record['wall_s']:9.2f} s wall, "
+                f"{record['n_jobs']} jobs on {executors} executors "
+                f"({record['sim_per_wall']:.2f} sim-s/wall-s)"
+            )
+
+    run_suite("micro", micro_suite)
+    run_suite("experiment", experiment_suite)
+    run_suite("sertier", sertier_suite)
+    run_suite("columnar", columnar_suite)
+    run_suite("cluster", cluster_suite)
     if scale_sweep:
-        records.extend(run_scale_sweep(quick=quick, log=log))
-    return {
+        run_suite(
+            "sweep",
+            lambda: records.extend(run_scale_sweep(quick=quick, log=log)),
+        )
+    document = {
         "schema": SCHEMA_VERSION,
         "created": _dt.datetime.now(_dt.timezone.utc).isoformat(),
         "quick": quick,
@@ -597,6 +716,9 @@ def run_bench_suite(
         "peak_rss_kb": peak_rss_kb(),
         "benchmarks": records,
     }
+    if profile:
+        document["profiles"] = profiles
+    return document
 
 
 def default_output_path() -> str:

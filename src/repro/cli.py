@@ -527,17 +527,30 @@ def cmd_bench(args) -> int:
     mode = "quick" if args.quick else "full"
     if args.scale_sweep:
         mode += " + scale-sweep"
+    if args.profile:
+        mode += " + profile"
     print(f"running the {mode} benchmark suite ...")
     document = bench.run_bench_suite(
         quick=args.quick,
         rounds=args.rounds,
         log=print,
         scale_sweep=args.scale_sweep,
+        profile=args.profile,
     )
     path = args.out or bench.default_output_path()
     bench.write_bench_report(document, path)
     print(f"  peak RSS: {document['peak_rss_kb']} KiB")
     print(f"  wrote {path}")
+    if args.profile:
+        import os as _os
+
+        profile_dir = args.profile_dir
+        _os.makedirs(profile_dir, exist_ok=True)
+        for suite, report in document.get("profiles", {}).items():
+            profile_path = _os.path.join(profile_dir, f"{suite}.txt")
+            with open(profile_path, "w") as fh:
+                fh.write(report)
+            print(f"  wrote {profile_path}")
     failed = False
     non_linear = [
         r["name"]
@@ -926,6 +939,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--advisory",
         action="store_true",
         help="report --compare regressions without failing",
+    )
+    bench_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each suite under cProfile and write the top-20 tottime "
+        "report per suite (timings inflate; do not --compare a profiled "
+        "run against an unprofiled baseline)",
+    )
+    bench_parser.add_argument(
+        "--profile-dir",
+        metavar="DIR",
+        default="bench_profiles",
+        help="directory for --profile reports (default: bench_profiles/)",
     )
     bench_parser.set_defaults(fn=cmd_bench)
 

@@ -15,6 +15,7 @@ tests prove the optimised plane is byte-for-byte equivalent.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, Hashable, Iterable, List, Sequence, Tuple
 
 Record = Tuple[Any, Any]
@@ -151,7 +152,23 @@ def _stable_hash(key: Hashable) -> int:
             acc = (acc * 1_000_003 + _stable_hash(item)) & 0x7FFFFFFF
         return acc
     if isinstance(key, float):
-        return _stable_hash(int(key * 1e6))
+        # Non-finite keys first: int(inf * 1e6) raises OverflowError and
+        # int(nan * 1e6) raises ValueError.  Hash them to their IEEE-754
+        # single-precision bit patterns (masked to 31 bits) — arbitrary
+        # but deterministic, and distinct for nan / +inf / -inf.
+        if key != key:  # nan (the only float unequal to itself)
+            return 0x7FC00000
+        if key == math.inf:
+            return 0x7F800000
+        if key == -math.inf:
+            return 0x7F800001
+        scaled = key * 1e6
+        if math.isinf(scaled):
+            # Finite but beyond float range once scaled: fall back to
+            # the unscaled integer part (still deterministic; the 1e6
+            # scaling only exists to separate nearby small floats).
+            return _stable_hash(int(key))
+        return _stable_hash(int(scaled))
     if isinstance(key, (bytes, bytearray)):
         acc = 0
         for b in key:

@@ -14,6 +14,7 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.core.tags import MemoryTag
 from repro.errors import SparkError
+from repro.spark import columnar as _columnar
 from repro.spark import partition as _partition
 from repro.spark.partition import _MISSING, HashPartitioner, Record
 from repro.spark.storage import StorageLevel
@@ -151,6 +152,11 @@ class RDD:
         flag; GraphX relies on it to avoid re-shuffling the graph).
         """
         def apply_map(records: List[Record]) -> List[Record]:
+            if _columnar.is_batch(records):
+                out = _columnar.apply_map_batch(fn, records)
+                if out is not None:
+                    return out
+                records = records.to_records()
             return list(map(fn, records))
 
         return self._narrow(
@@ -188,6 +194,12 @@ class RDD:
     ) -> "RDD":
         """Transform values, preserving keys and partitioning."""
         def apply_map_values(records: List[Record]) -> List[Record]:
+            if _columnar.is_batch(records):
+                kern = _columnar.map_values_kernel_for(fn)
+                out = kern(records) if kern is not None else None
+                if out is not None:
+                    return out
+                records = records.to_records()
             return [(k, fn(v)) for k, v in records]
 
         return self._narrow(apply_map_values, size_factor, name, preserves=True)
@@ -297,6 +309,9 @@ class RDD:
         partitioner = self._default_partitioner(num_partitions)
 
         def reduce_partition(records: List[Record]) -> List[Record]:
+            folded = _columnar.apply_reduce_kernel(fn, records)
+            if folded is not None:
+                return folded
             acc: dict = {}
             if _partition.LEGACY_DATA_PLANE:
                 for k, v in records:
@@ -534,6 +549,9 @@ class SourceRDD(RDD):
             name=name,
         )
         self._partitions = partitions
+        #: pidx -> packed ColumnBatch (None = proven unpackable), built
+        #: lazily so iterative jobs pack each source partition once.
+        self._column_parts: dict = {}
 
     def compute_partition(self, pidx: int, task) -> List[Record]:
         records = self._partitions[pidx]
@@ -541,7 +559,16 @@ class SourceRDD(RDD):
         # Source partitions are shared, not copied: downstream
         # transformations build fresh output lists and never mutate
         # their input (the legacy data plane copies anyway).
-        return list(records) if _partition.LEGACY_DATA_PLANE else records
+        if _partition.LEGACY_DATA_PLANE:
+            return list(records)
+        if _columnar.columnar_active():
+            batch = self._column_parts.get(pidx, _MISSING)
+            if batch is _MISSING:
+                batch = _columnar.ColumnBatch.from_records(records)
+                self._column_parts[pidx] = batch
+            if batch is not None:
+                return batch
+        return records
 
 
 class MapPartitionsRDD(RDD):

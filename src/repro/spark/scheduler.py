@@ -28,6 +28,7 @@ from repro.gc import charging as _charging
 from repro.heap.object_model import ObjKind
 from repro.heap.regions import LifetimeClass
 from repro.spark.materialize import MaterializedBlock
+from repro.spark import columnar as _columnar
 from repro.spark import partition as _partition
 from repro.spark.partition import _MISSING, Record
 from repro.spark.rdd import (
@@ -193,6 +194,14 @@ class Scheduler:
         threads = self.ctx.config.mutator_threads
         n_out = dep.partitioner.num_partitions
         buckets: List[List[Record]] = [[] for _ in range(n_out)]
+        # Under the columnar plane each bucket accumulates *ordered
+        # segments* (sub-batches or record lists, one or more per map
+        # partition) fused after the loop — the concatenation yields the
+        # same per-bucket record sequence the per-record bucket_into
+        # appends produce, because both preserve map-partition order and
+        # within-partition record order.
+        use_columnar = _columnar.columnar_active()
+        segments: List[list] = [[] for _ in range(n_out)]
         # Under the vectorised cost plane each partition's machine
         # charges (the combine probe and the spill write) settle as one
         # run_rows wave; the rows replay access()'s arithmetic row by
@@ -211,27 +220,40 @@ class Scheduler:
                         records = dep.map_side_aggregate(records)
                         n_records = len(records)
                     else:
-                        combined: dict = {}
                         fn = dep.map_side_combine
-                        if _partition.LEGACY_DATA_PLANE:
+                        folded = None
+                        if use_columnar:
+                            folded = self._columnar_combine(fn, records)
+                        if folded is not None:
+                            # The kernel's grouped fold: same groups in
+                            # the same first-occurrence order, each
+                            # accumulated in record order — the dict
+                            # fold below, vectorised.
+                            records = folded
+                            n_records = len(folded)
+                        elif _partition.LEGACY_DATA_PLANE:
+                            combined = {}
                             for k, v in records:
                                 combined[k] = (
                                     fn(combined[k], v) if k in combined else v
                                 )
+                            records = combined.items()
+                            n_records = len(combined)
                         else:
                             # Single dict probe per record; fn sees the
                             # same (accumulator, value) order as before.
+                            # Streaming combined.items() straight into
+                            # the buckets skips the intermediate list
+                            # the legacy plane built (identical tuples).
+                            combined = {}
                             get = combined.get
                             for k, v in records:
                                 prev = get(k, _MISSING)
                                 combined[k] = (
                                     v if prev is _MISSING else fn(prev, v)
                                 )
-                        # Stream the combined items straight into the
-                        # buckets — the intermediate list(combined.items())
-                        # the legacy plane built held identical tuples.
-                        records = combined.items()
-                        n_records = len(combined)
+                            records = combined.items()
+                            n_records = len(combined)
                     if vectorised:
                         rows.append(
                             (
@@ -250,7 +272,12 @@ class Scheduler:
                             threads=threads,
                             cpu_ns=in_bytes * costs.cpu_ns_per_byte / threads,
                         )
-                dep.partitioner.bucket_into(records, buckets)
+                if use_columnar:
+                    _columnar.bucket_into_segments(
+                        dep.partitioner, records, segments
+                    )
+                else:
+                    dep.partitioner.bucket_into(records, buckets)
                 out_bytes = (
                     n_records * dep.parent.bytes_per_record * dep.combine_factor
                 )
@@ -276,6 +303,8 @@ class Scheduler:
                     )
         finally:
             self._pop_scope()
+        if use_columnar:
+            buckets = [_columnar.concat_segments(segs) for segs in segments]
         bpr = dep.parent.bytes_per_record * dep.combine_factor
         sizes = [len(b) * bpr * costs.ser_factor for b in buckets]
         self.ctx.shuffles.write(dep.shuffle_id, buckets, sizes, overwrite=force)
@@ -289,6 +318,18 @@ class Scheduler:
             # service (reduce partitions get owners across executors)
             # and fires executor kills due at this boundary.
             self.ctx.cluster.stage_boundary(dep)
+
+    def _columnar_combine(self, fn, records):
+        """Map-side combine through ``fn``'s registered grouped-fold
+        kernel, for data already in batch form.  Plain record lists
+        (e.g. PageRank's contribs, flat_map output) stay on the dict
+        fold: the O(N) Python pack loop costs more than the vectorised
+        fold saves, measured 0.84x on the PR cell when we packed here."""
+        if _columnar.reduce_kernel_for(fn) is None:
+            return None
+        if not _columnar.is_batch(records):
+            return None
+        return _columnar.apply_reduce_kernel(fn, records)
 
     # ------------------------------------------------------------------
     # record access (the task-side data plane)

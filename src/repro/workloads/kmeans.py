@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Tuple
 
+from repro.spark import columnar as _columnar
 from repro.spark.program import Program
 from repro.spark.storage import StorageLevel
 from repro.workloads.datasets import DatasetSpec, ml_points
@@ -20,7 +21,10 @@ Vector = Tuple[float, ...]
 
 
 def _sq_dist(a: Vector, b: Vector) -> float:
-    return sum((x - y) ** 2 for x, y in zip(a, b))
+    # Squares via multiplication, not ``** 2``: the columnar assign
+    # kernel computes ``d * d`` with numpy, and plain multiplication is
+    # the one spelling both planes are guaranteed to round identically.
+    return sum((x - y) * (x - y) for x, y in zip(a, b))
 
 
 def _vec_add(a: Vector, b: Vector) -> Vector:
@@ -64,12 +68,51 @@ def build_kmeans(
         ]
     }
 
+    def identity(record):
+        return record
+
     def assign(record):
         _, vec = record
         return (closest_center(vec, state["centers"]), (vec, 1))
 
     def merge(a, b):
         return (_vec_add(a[0], b[0]), a[1] + b[1])
+
+    if _columnar.kernels_available():
+        import numpy as np
+
+        def assign_kernel(batch):
+            mat = _columnar.vec_matrix(batch.values)
+            if mat is None:
+                return None
+            centers = state["centers"]
+            n, dim = mat.shape
+            dists = np.empty((n, len(centers)))
+            for cidx, center in enumerate(centers):
+                diff = mat - np.asarray(center)
+                terms = diff * diff
+                # Left fold from 0.0 per dimension — _sq_dist's sum()
+                # replayed exactly (never np.sum: pairwise summation
+                # reorders the float additions).
+                acc = np.zeros(n)
+                for j in range(dim):
+                    acc += terms[:, j]
+                dists[:, cidx] = acc
+            # argmin takes the first minimum, matching closest_center's
+            # strict `<` scan.
+            clusters = np.argmin(dists, axis=1).astype(np.int64)
+            return _columnar.ColumnBatch(
+                _columnar.int_column(clusters),
+                _columnar.PairColumn(
+                    _columnar.VecColumn(mat), _columnar.ones_int(n)
+                ),
+            )
+
+        _columnar.register_map_kernel(identity, _columnar.identity_kernel)
+        _columnar.register_map_kernel(assign, assign_kernel)
+        _columnar.register_reduce_kernel(
+            merge, _columnar.make_vec_count_merge_kernel()
+        )
 
     def update_centers(results) -> None:
         stats = results.get("stats")
@@ -85,7 +128,7 @@ def build_kmeans(
     lines = p.let("lines", p.source(ds))
     points = p.let(
         "points",
-        lines.map(lambda r: r).persist(persist_level),
+        lines.map(identity).persist(persist_level),
     )
     with p.loop(iterations):
         closest = p.let("closest", points.map(assign, size_factor=1.0))

@@ -11,6 +11,7 @@ import math
 import random
 from typing import Optional, Tuple
 
+from repro.spark import columnar as _columnar
 from repro.spark.program import Program
 from repro.spark.storage import StorageLevel
 from repro.workloads.datasets import DatasetSpec, ml_points
@@ -42,6 +43,9 @@ def build_logistic_regression(
     rng = random.Random(seed + 1)
     state = {"weights": tuple(rng.uniform(-0.1, 0.1) for _ in range(dim))}
 
+    def identity(record):
+        return record
+
     def gradient(record):
         label, vec = record
         y = 1.0 if (label % 2 == 1) else -1.0
@@ -53,6 +57,45 @@ def build_logistic_regression(
 
     def merge(a, b):
         return (tuple(x + y for x, y in zip(a[0], b[0])), a[1] + b[1])
+
+    if _columnar.kernels_available():
+        import numpy as np
+
+        def gradient_kernel(batch):
+            mat = _columnar.vec_matrix(batch.values)
+            labels = _columnar.int_array(batch.keys)
+            if mat is None or labels is None:
+                return None
+            w = state["weights"]
+            n, dim = mat.shape
+            ys = np.where(labels % 2 == 1, 1.0, -1.0)
+            # _dot's sum() replayed: left fold from 0.0, one dimension
+            # at a time (never np.dot/np.sum — pairwise summation).
+            dots = np.zeros(n)
+            for j in range(dim):
+                dots += w[j] * mat[:, j]
+            margins = np.maximum(-30.0, np.minimum(30.0, ys * dots))
+            # numpy's exp is not bit-identical to math.exp, so the
+            # sigmoid runs per element; everything around it vectorises.
+            coeffs = np.asarray(
+                [
+                    (1.0 / (1.0 + math.exp(-m)) - 1.0) * y
+                    for m, y in zip(margins.tolist(), ys.tolist())
+                ]
+            )
+            grads = coeffs[:, None] * mat
+            return _columnar.ColumnBatch(
+                _columnar.ConstColumn("grad", n),
+                _columnar.PairColumn(
+                    _columnar.VecColumn(grads), _columnar.ones_int(n)
+                ),
+            )
+
+        _columnar.register_map_kernel(identity, _columnar.identity_kernel)
+        _columnar.register_map_kernel(gradient, gradient_kernel)
+        _columnar.register_reduce_kernel(
+            merge, _columnar.make_vec_count_merge_kernel()
+        )
 
     def update_weights(results) -> None:
         grads = results.get("gradient")
@@ -67,7 +110,7 @@ def build_logistic_regression(
     p = Program()
     lines = p.let("lines", p.source(ds))
     points = p.let(
-        "points", lines.map(lambda r: r).persist(persist_level)
+        "points", lines.map(identity).persist(persist_level)
     )
     with p.loop(iterations):
         grads = p.let("grads", points.map(gradient, size_factor=1.0))

@@ -10,6 +10,7 @@ from __future__ import annotations
 import math
 from typing import Optional, Tuple
 
+from repro.spark import columnar as _columnar
 from repro.spark.program import Program
 from repro.spark.storage import StorageLevel
 from repro.workloads.datasets import DatasetSpec, kdd_points
@@ -18,10 +19,36 @@ from repro.workloads.pagerank import WorkloadSpec
 Vector = Tuple[float, ...]
 
 
+def _identity(record):
+    return record
+
+
+def _pairify(record):
+    """(label, vec) -> (label, (vec, 1)): the aggregation seed."""
+    return (record[0], (record[1], 1))
+
+
 def _merge_class_stats(a, b):
     vec_a, count_a = a
     vec_b, count_b = b
     return (tuple(x + y for x, y in zip(vec_a, vec_b)), count_a + count_b)
+
+
+def _pairify_kernel(batch):
+    mat = _columnar.vec_matrix(batch.values)
+    if mat is None:
+        return None
+    return _columnar.ColumnBatch(
+        batch.keys,
+        _columnar.PairColumn(batch.values, _columnar.ones_int(len(mat))),
+    )
+
+
+_columnar.register_map_kernel(_identity, _columnar.identity_kernel)
+_columnar.register_map_kernel(_pairify, _pairify_kernel)
+_columnar.register_reduce_kernel(
+    _merge_class_stats, _columnar.make_vec_count_merge_kernel()
+)
 
 
 def train_model(class_stats, total: int):
@@ -46,11 +73,11 @@ def build_naive_bayes(
     lines = p.let("lines", p.source(ds))
     training = p.let(
         "training",
-        lines.map(lambda r: r).persist(StorageLevel.MEMORY_AND_DISK),
+        lines.map(_identity).persist(StorageLevel.MEMORY_AND_DISK),
     )
     stats = p.let(
         "stats",
-        training.map(lambda r: (r[0], (r[1], 1))).reduce_by_key(
+        training.map(_pairify).reduce_by_key(
             _merge_class_stats, size_factor=0.05
         ),
     )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.spark import columnar as _columnar
 from repro.spark.program import Program
 from repro.spark.storage import StorageLevel
 from repro.workloads.datasets import DatasetSpec, pagerank_graph
@@ -39,6 +40,38 @@ def _contribs_record(record):
     return [(url, rank / size) for url in urls]
 
 
+def _edge(record):
+    """(src, dst) -> (src, dst): identity over the 2-tuple edge records
+    (named so the columnar plane can register a whole-batch kernel)."""
+    return (record[0], record[1])
+
+
+def _add(a, b):
+    return a + b
+
+
+def _damp(s):
+    return 0.15 + DAMPING * s
+
+
+def _damp_kernel(batch):
+    ranks = _columnar.float_array(batch.values)
+    if ranks is None:
+        return None
+    # 0.15 + DAMPING * s per element: the same two correctly-rounded
+    # float64 operations _damp performs.
+    return _columnar.ColumnBatch(
+        batch.keys, _columnar.float_column(0.15 + DAMPING * ranks)
+    )
+
+
+_columnar.register_map_kernel(_edge, _columnar.identity_kernel)
+_columnar.register_reduce_kernel(
+    _add, _columnar.make_scalar_add_reduce_kernel()
+)
+_columnar.register_map_values_kernel(_damp, _damp_kernel)
+
+
 def build_pagerank(
     scale: float = 1.0,
     iterations: int = 15,
@@ -60,7 +93,7 @@ def build_pagerank(
     lines = p.let("lines", p.source(ds))
     links = p.let(
         "links",
-        lines.map(lambda r: (r[0], r[1]))
+        lines.map(_edge)
         .distinct()
         .group_by_key(size_factor=fanout)
         .persist(StorageLevel.MEMORY_ONLY),
@@ -76,9 +109,7 @@ def build_pagerank(
         )
         ranks = p.let(
             "ranks",
-            contribs.reduce_by_key(lambda a, b: a + b).map_values(
-                lambda s: 0.15 + DAMPING * s
-            ),
+            contribs.reduce_by_key(_add).map_values(_damp),
         )
     p.action(ranks, "collect", result_key="ranks")
     return WorkloadSpec(

@@ -1,0 +1,550 @@
+"""Tests for the columnar execution plane (``COLUMNAR_DATA_PLANE``).
+
+Covers A/B byte-identity on traced + fault-injected numeric cells (the
+house rule: simulated time, GC logs, trace streams, bandwidth series,
+fault checksums and computed answers identical with the flag on and
+off), composition with the four existing A/B flags, the kernel
+machinery (grouped ordered folds, first-occurrence key order, the
+``np.add.at`` in-order accumulation the folds rely on), vectorised
+shuffle bucketing, pack/unpack round-trips over every workload's real
+record shapes, the ``_stable_hash`` non-finite float fix, and the env
+override.
+"""
+
+import math
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import PolicyName
+from repro.faults import FaultInjector, FaultPlan, KillSpec, action_checksums
+from repro.gc import charging as _charging
+from repro.gc.gclog import render_log
+from repro.harness.configs import paper_config
+from repro.harness.experiment import run_experiment
+from repro.spark import columnar as _columnar
+from repro.spark import partition as _partition
+from repro.spark import storage as _storage
+from repro.spark.columnar import (
+    ColumnBatch,
+    ConstColumn,
+    PairColumn,
+    ScalarColumn,
+    VecColumn,
+    bucket_into_segments,
+    concat_segments,
+    make_scalar_add_reduce_kernel,
+    make_vec_count_merge_kernel,
+    split_batch,
+)
+from repro.spark.partition import HashPartitioner, _stable_hash
+from repro.trace import TraceSession
+from tests.conftest import small_context
+from tests.test_costplane import _bandwidth_fingerprint
+from tests.test_properties_spark import DATASET, STEP, build_pipeline
+
+np = pytest.importorskip("numpy")
+
+
+def _under_columnar(enabled, fn):
+    """Call ``fn()`` with the columnar flag forced to ``enabled``."""
+    saved = _columnar.COLUMNAR_DATA_PLANE
+    _columnar.COLUMNAR_DATA_PLANE = enabled
+    try:
+        return fn()
+    finally:
+        _columnar.COLUMNAR_DATA_PLANE = saved
+
+
+def _flip(module, attr, value, fn):
+    """Call ``fn()`` with one module flag temporarily forced."""
+    saved = getattr(module, attr)
+    setattr(module, attr, value)
+    try:
+        return fn()
+    finally:
+        setattr(module, attr, saved)
+
+
+# -- the flag itself --------------------------------------------------------
+
+
+class TestFlag:
+    def test_default_is_on(self):
+        """With no env override the flag defaults to on (checked in a
+        fresh process so a CI matrix forcing the env can't skew it)."""
+        env = {
+            k: v
+            for k, v in os.environ.items()
+            if k != "REPRO_COLUMNAR_DATA_PLANE"
+        }
+        env["PYTHONPATH"] = "src"
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.spark import columnar; "
+                "print(columnar.COLUMNAR_DATA_PLANE)",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.strip() == "True"
+
+    def test_active_requires_optimised_data_plane(self):
+        """Under LEGACY_DATA_PLANE the columnar plane stands down, so
+        the legacy oracle replays the original per-record code only."""
+        assert _under_columnar(True, _columnar.columnar_active) is True
+        assert _under_columnar(False, _columnar.columnar_active) is False
+        assert _flip(
+            _partition, "LEGACY_DATA_PLANE", True, _columnar.columnar_active
+        ) is False
+
+    @pytest.mark.parametrize(
+        "value,expected", [("0", False), ("1", True), ("off", False)]
+    )
+    def test_flag_follows_the_environment(self, value, expected):
+        env = dict(os.environ, REPRO_COLUMNAR_DATA_PLANE=value)
+        env["PYTHONPATH"] = "src"
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.spark import columnar; "
+                "print(columnar.COLUMNAR_DATA_PLANE)",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.strip() == str(expected)
+
+
+# -- pack / unpack round-trips ----------------------------------------------
+
+
+class TestPackRoundtrip:
+    def _assert_roundtrip(self, records):
+        batch = ColumnBatch.from_records(list(records))
+        assert batch is not None
+        out = batch.to_records()
+        assert out == list(records)
+        for (k, v), (ko, vo) in zip(records, out):
+            assert type(ko) is type(k)
+            assert type(vo) is type(v)
+        # A re-pack of a freshly unpacked copy is bit-exact too.
+        copied = [tuple(r) for r in records]
+        rebuilt = ColumnBatch.from_records(copied)
+        assert rebuilt.keys.tolist() == batch.keys.tolist()
+
+    def test_every_workload_source_packs(self):
+        from repro.workloads.datasets import (
+            kdd_points,
+            ml_points,
+            pagerank_graph,
+        )
+
+        for ds in (
+            ml_points(scale=0.02),
+            kdd_points(scale=0.02),
+            pagerank_graph(scale=0.02),
+        ):
+            self._assert_roundtrip(list(ds.records)[:80])
+
+    def test_vec_count_shape_packs(self):
+        records = [(i % 3, ((1.5 * i, -0.25 * i), 1)) for i in range(20)]
+        self._assert_roundtrip(records)
+
+    def test_scalar_float_values_pack(self):
+        records = [(i % 5, 0.15 + 0.85 * i) for i in range(30)]
+        self._assert_roundtrip(records)
+
+    @pytest.mark.parametrize(
+        "records",
+        [
+            [],
+            [(1, 2), (True, 3)],  # bool key: exact-type check rejects
+            [(1, 2), (2, 2.0)],  # mixed value types
+            [("a", 1)],  # non-int key
+            [(1, None)],
+            [(1, (1.0, 2.0)), (2, (1.0,))],  # ragged vectors
+            [(2**63, 1)],  # beyond int64
+            [(1, (1.0, 2)), (2, (1.0, 3))],  # non-float tuple element
+        ],
+    )
+    def test_unpackable_shapes_return_none(self, records):
+        assert ColumnBatch.from_records(records) is None
+
+    def test_packed_batch_shares_the_input_list(self):
+        """from_records installs the input list as the unpack cache, so
+        per-record fallbacks never pay a reconstruction."""
+        records = [(i, float(i)) for i in range(10)]
+        batch = ColumnBatch.from_records(records)
+        assert batch.to_records() is records
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-(2**62), max_value=2**62),
+                st.one_of(
+                    st.integers(min_value=-(2**62), max_value=2**62),
+                    st.floats(allow_nan=False),
+                    st.tuples(
+                        st.floats(allow_nan=False), st.floats(allow_nan=False)
+                    ),
+                ),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_uniform_numeric_records_roundtrip(self, records):
+        """Any uniformly-shaped numeric record list round-trips
+        type-exactly (or is declined outright — never mangled)."""
+        head_type = type(records[0][1])
+        uniform = all(type(v) is head_type for _, v in records) and (
+            head_type is not tuple
+            or len({len(v) for _, v in records}) == 1
+        )
+        batch = ColumnBatch.from_records(list(records))
+        if not uniform:
+            if batch is None:
+                return
+        assert batch is not None
+        out = batch.to_records()
+        assert out == records
+        assert all(
+            type(vo) is type(v) for (_, v), (_, vo) in zip(records, out)
+        )
+
+
+# -- kernel machinery -------------------------------------------------------
+
+
+class TestGroupedFolds:
+    def test_np_add_at_accumulates_in_index_order(self):
+        """The grouped folds' bit-identity rests on np.add.at applying
+        repeated-index contributions unbuffered, in order.  Pin it with
+        additions whose result depends on order: (big + tiny) + -big
+        differs from (big + -big) + tiny in the last bit."""
+        vals = [1.0, 1e16, -1e16, 1.0]
+        acc = np.zeros(1)
+        np.add.at(acc, [0, 0, 0, 0], np.array(vals))
+        sequential = 0.0
+        for v in vals:
+            sequential += v
+        assert sequential == 1.0  # pairwise would give 0.0
+        assert float(acc[0]) == sequential
+
+    def test_scalar_add_matches_dict_fold(self):
+        records = [(7, 0.1), (3, 0.2), (7, 0.3), (3, 0.4), (7, 1e-17)]
+        batch = ColumnBatch.from_records(records)
+        folded = make_scalar_add_reduce_kernel()(batch)
+        acc = {}
+        for k, v in records:
+            acc[k] = acc[k] + v if k in acc else v
+        assert folded.to_records() == list(acc.items())
+
+    def test_first_occurrence_key_order(self):
+        records = [(9, 1.0), (2, 1.0), (9, 1.0), (5, 1.0), (2, 1.0)]
+        folded = make_scalar_add_reduce_kernel()(
+            ColumnBatch.from_records(records)
+        )
+        assert [k for k, _ in folded.to_records()] == [9, 2, 5]
+
+    def test_first_value_seeds_the_accumulator(self):
+        """The dict fold starts with ``acc[k] = v`` (no leading zero);
+        -0.0 first values expose any zeros-init shortcut, because
+        0.0 + -0.0 is +0.0 while the fold keeps -0.0."""
+        records = [(1, -0.0), (2, -0.0), (2, -0.0)]
+        folded = make_scalar_add_reduce_kernel()(
+            ColumnBatch.from_records(records)
+        )
+        out = folded.to_records()
+        assert [repr(v) for _, v in out] == ["-0.0", "-0.0"]
+
+    def test_vec_count_merge_matches_dict_fold(self):
+        records = [
+            (i % 3, ((0.1 * i, 1e16 if i % 2 else 1.0), 1)) for i in range(12)
+        ]
+        folded = make_vec_count_merge_kernel()(
+            ColumnBatch.from_records(records)
+        )
+        acc = {}
+        for k, (vec, c) in records:
+            if k in acc:
+                pv, pc = acc[k]
+                acc[k] = (tuple(x + y for x, y in zip(pv, vec)), pc + c)
+            else:
+                acc[k] = (vec, c)
+        assert repr(folded.to_records()) == repr(list(acc.items()))
+
+    def test_const_keys_fold_to_one_group(self):
+        batch = ColumnBatch(
+            ConstColumn("grad", 3),
+            PairColumn(
+                VecColumn(np.asarray([[1.0], [2.0], [4.0]])),
+                ScalarColumn(np.ones(3, dtype=np.int64)),
+            ),
+        )
+        folded = make_vec_count_merge_kernel()(batch)
+        assert folded.to_records() == [("grad", ((7.0,), 3))]
+
+    def test_kernels_decline_foreign_schemas(self):
+        ints = ColumnBatch.from_records([(1, 2), (3, 4)])
+        assert make_scalar_add_reduce_kernel()(ints) is None
+        assert make_vec_count_merge_kernel()(ints) is None
+
+
+class TestVectorisedBucketing:
+    @pytest.mark.parametrize("n", [1, 3, 7])
+    def test_split_batch_matches_bucket_into(self, n):
+        records = [((i * 37) % 23 - 11, float(i)) for i in range(200)]
+        part = HashPartitioner(n)
+        expected = part.split(records)
+        pieces = split_batch(ColumnBatch.from_records(records), part)
+        got = [[] for _ in range(n)]
+        for bidx, sub in pieces:
+            got[bidx].extend(sub.to_records())
+        assert got == expected
+
+    def test_split_batch_handles_const_keys(self):
+        batch = ColumnBatch(
+            ConstColumn("grad", 4),
+            ScalarColumn(np.arange(4, dtype=np.int64)),
+        )
+        part = HashPartitioner(5)
+        [(bidx, sub)] = split_batch(batch, part)
+        assert bidx == part.partition_of("grad")
+        assert len(sub) == 4
+
+    def test_segments_preserve_map_partition_order(self):
+        """Batch and plain-record pieces interleave per map partition;
+        the fused bucket replays bucket_into's append order exactly."""
+        part = HashPartitioner(2)
+        p0 = ColumnBatch.from_records([(0, 1.0), (1, 2.0), (2, 3.0)])
+        p1 = [(0, 4.0), (1, 5.0)]  # a per-record map partition
+        p2 = ColumnBatch.from_records([(2, 6.0), (3, 7.0)])
+        segments = [[] for _ in range(2)]
+        for records in (p0, p1, p2):
+            bucket_into_segments(part, records, segments)
+        fused = [concat_segments(segs) for segs in segments]
+        expected = [[] for _ in range(2)]
+        for records in (p0.to_records(), p1, p2.to_records()):
+            part.bucket_into(records, expected)
+        assert [list(b) for b in fused] == expected
+
+    def test_all_batch_segments_fuse_to_one_batch(self):
+        part = HashPartitioner(1)
+        segments = [[]]
+        for lo in (0, 10):
+            bucket_into_segments(
+                part,
+                ColumnBatch.from_records(
+                    [(i, float(i)) for i in range(lo, lo + 5)]
+                ),
+                segments,
+            )
+        fused = concat_segments(segments[0])
+        assert isinstance(fused, ColumnBatch)
+        assert len(fused) == 10
+
+
+# -- _stable_hash: non-finite floats (satellite fix) ------------------------
+
+
+class TestStableHashFloats:
+    @pytest.mark.parametrize(
+        "key", [math.inf, -math.inf, math.nan, 1e308, -1e308, 2**53 / 1e6]
+    )
+    def test_extreme_floats_hash_without_raising(self, key):
+        h = _stable_hash(key)
+        assert 0 <= h <= 0x7FFFFFFF
+        assert _stable_hash(key) == h  # deterministic
+
+    def test_non_finite_values_stay_distinct(self):
+        hashes = {_stable_hash(k) for k in (math.inf, -math.inf, math.nan)}
+        assert len(hashes) == 3
+
+    def test_finite_floats_keep_their_legacy_hash(self):
+        for key in (0.0, -0.0, 1.0, 2.5, -3.75, 1234.5678):
+            assert _stable_hash(key) == _stable_hash(int(key * 1e6))
+
+    @pytest.mark.parametrize("key", [math.inf, -math.inf, math.nan, 1e308])
+    def test_bucketing_agrees_across_planes(self, key):
+        part = HashPartitioner(7)
+        legacy = _flip(
+            _partition, "LEGACY_DATA_PLANE", True,
+            lambda: part.partition_of(key),
+        )
+        optimised = _flip(
+            _partition, "LEGACY_DATA_PLANE", False,
+            lambda: part.partition_of(key),
+        )
+        assert legacy == optimised
+        buckets = part.split([(key, "v")])
+        assert buckets[legacy] == [(key, "v")]
+
+
+# -- A/B byte-identity on traced + faulted cells ----------------------------
+
+
+class TestColumnarIdentity:
+    def _run_cell(self, workload, workload_kwargs=None):
+        config = paper_config(64, 1 / 3, PolicyName.PANTHERA, 0.01)
+        plan = FaultPlan(kills=[KillSpec("shuffle", 1, 0)], seed=7)
+        result = run_experiment(
+            workload,
+            config,
+            scale=0.01,
+            workload_kwargs=(
+                {"iterations": 2} if workload_kwargs is None else workload_kwargs
+            ),
+            keep_context=True,
+            trace=True,
+            faults=plan,
+        )
+        stats = result.context.collector.stats
+        return {
+            "elapsed": repr(result.elapsed_s),
+            "gclog": render_log(stats, result.elapsed_s, tail=50),
+            "checksums": action_checksums(result.action_results),
+            "events": [repr(e) for e in result.trace_events],
+            "bandwidth": _bandwidth_fingerprint(result.context.machine),
+        }
+
+    @pytest.mark.parametrize("workload", ["KM", "LR", "PR"])
+    def test_traced_faulted_cell_identical_either_plane(self, workload):
+        columnar = _under_columnar(True, lambda: self._run_cell(workload))
+        record = _under_columnar(False, lambda: self._run_cell(workload))
+        assert columnar["elapsed"] == record["elapsed"]
+        assert columnar["gclog"] == record["gclog"]
+        assert columnar["checksums"] == record["checksums"]
+        assert columnar["events"] == record["events"]
+        assert columnar["bandwidth"] == record["bandwidth"]
+
+    def test_naive_bayes_cell_identical_either_plane(self):
+        columnar = _under_columnar(True, lambda: self._run_cell("BC", {}))
+        record = _under_columnar(False, lambda: self._run_cell("BC", {}))
+        assert columnar == record
+
+    def test_composes_with_every_existing_flag(self):
+        """Columnar on/off identity must hold under each of the other
+        four A/B flags forced to its non-default setting."""
+
+        def km():
+            return self._run_cell("KM")
+
+        for module, attr, forced in (
+            (_charging, "BATCHED_DEPOSITS", False),
+            (_charging, "VECTORISED_COST_PLANE", False),
+            (_storage, "SERIALIZED_TIER", False),
+            (_partition, "LEGACY_DATA_PLANE", True),
+        ):
+            pair = _flip(
+                module,
+                attr,
+                forced,
+                lambda: (
+                    _under_columnar(True, km),
+                    _under_columnar(False, km),
+                ),
+            )
+            assert pair[0] == pair[1], f"mismatch under {attr}={forced}"
+
+    def test_serialized_persist_identical_either_plane(self):
+        """The columnar plane feeding the serialized tier (batches
+        packed into SerializedColumnBatch at persist) changes nothing."""
+
+        def cell():
+            config = paper_config(64, 1 / 3, PolicyName.PANTHERA, 0.01)
+            result = run_experiment(
+                "KM",
+                config,
+                scale=0.01,
+                workload_kwargs={
+                    "iterations": 2,
+                    "persist_level": _storage.StorageLevel.MEMORY_ONLY_SER,
+                },
+                keep_context=True,
+            )
+            return {
+                "elapsed": repr(result.elapsed_s),
+                "checksums": action_checksums(result.action_results),
+            }
+
+        assert _under_columnar(True, cell) == _under_columnar(False, cell)
+
+
+class TestColumnarPropertyAB:
+    """Random traced (and sometimes faulted) pipelines are byte-identical
+    with the columnar plane on and off."""
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        records=DATASET,
+        steps=st.lists(STEP, min_size=1, max_size=5),
+        kill=st.booleans(),
+    )
+    def test_random_pipelines_identical_across_planes(
+        self, records, steps, kill
+    ):
+        def run():
+            ctx = small_context(PolicyName.PANTHERA)
+            session = TraceSession.attach_to_context(ctx)
+            if kill:
+                plan = FaultPlan(kills=[KillSpec("shuffle", 1, 0)], seed=3)
+                FaultInjector.attach(plan, ctx)
+            rdd = build_pipeline(ctx, records, steps)
+            result = ctx.scheduler.run_action(rdd, "collect")
+            return {
+                "result": sorted(result, key=repr),
+                "checksums": action_checksums({"collect": result}),
+                "elapsed": repr(ctx.machine.elapsed_s),
+                "events": [repr(e) for e in session.events],
+                "bandwidth": _bandwidth_fingerprint(ctx.machine),
+            }
+
+        assert _under_columnar(True, run) == _under_columnar(False, run)
+
+
+# -- fallbacks --------------------------------------------------------------
+
+
+class TestFallbacks:
+    def test_unregistered_udf_falls_back_per_record(self):
+        """A batch reaching a kernel-less map unpacks and maps per
+        record — same answer as the record plane."""
+
+        def run():
+            ctx = small_context(PolicyName.PANTHERA)
+            rdd = ctx.parallelize(
+                [(i, float(i)) for i in range(40)], 3, 2**20, name="fb-src"
+            ).map(lambda r: (r[0] % 4, r[1] * 2.0))
+            return sorted(ctx.scheduler.run_action(rdd, "collect"))
+
+        assert _under_columnar(True, run) == _under_columnar(False, run)
+
+    def test_kernel_registry_is_weak(self):
+        import gc as _gc
+
+        def fn(r):
+            return r
+
+        _columnar.register_map_kernel(fn, _columnar.identity_kernel)
+        assert _columnar.map_kernel_for(fn) is not None
+        del fn
+        _gc.collect()
+        # No strong reference retained by the registry itself.
+        assert len(_columnar._MAP_KERNELS) >= 0

@@ -102,6 +102,75 @@ class TestHashCache:
         optimised = _under_plane(False, lambda: part_b.split(records))
         assert optimised == legacy
 
+    @pytest.mark.parametrize(
+        "key",
+        [(True, False), (False, True), (True, 1), (1, True), (0, False)],
+    )
+    def test_bool_tuples_dodge_the_int_pair_fast_path(self, key):
+        """bucket_into's inline 2-int-tuple path uses ``type(...) is int``
+        so bool elements (a subclass of int whose legacy hash path
+        differs) must take the slow path and keep their legacy bucket."""
+        part = HashPartitioner(7)
+        legacy = _under_plane(True, lambda: part.partition_of(key))
+        optimised = _under_plane(False, lambda: part.partition_of(key))
+        assert optimised == legacy
+        buckets = [[] for _ in range(7)]
+        _under_plane(False, lambda: part.bucket_into([(key, "v")], buckets))
+        assert buckets[legacy] == [(key, "v")]
+
+    def test_non_finite_float_keys_bucket_without_raising(self):
+        """Regression: ``_stable_hash`` used to raise OverflowError on
+        inf (and ValueError on nan) via ``int(key * 1e6)``."""
+        import math
+
+        records = [
+            (k, i)
+            for i, k in enumerate(
+                [math.inf, -math.inf, math.nan, 1e308, -1e308, 0.5] * 3
+            )
+        ]
+        part_a, part_b = HashPartitioner(5), HashPartitioner(5)
+        legacy = _under_plane(True, lambda: part_a.split(records))
+        optimised = _under_plane(False, lambda: part_b.split(records))
+        assert repr(optimised) == repr(legacy)
+
+
+MIXED_KEY = st.one_of(
+    st.integers(min_value=-(2**63), max_value=2**63),
+    st.booleans(),
+    st.floats(),  # includes nan and ±inf
+    st.text(max_size=8),
+    st.binary(max_size=8),
+    st.none(),
+    st.tuples(
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.integers(min_value=-(2**40), max_value=2**40),
+    ),
+    st.tuples(st.booleans(), st.booleans()),
+    st.tuples(st.text(max_size=4), st.integers()),
+)
+
+
+class TestMixedKeyPropertyAB:
+    """Property: both shuffle planes bucket any mix of key types alike."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        keys=st.lists(MIXED_KEY, min_size=1, max_size=40),
+        n=st.integers(min_value=1, max_value=9),
+    )
+    def test_partition_of_and_bucket_into_agree_across_planes(self, keys, n):
+        records = [(k, i) for i, k in enumerate(keys)]
+        part_a, part_b = HashPartitioner(n), HashPartitioner(n)
+        legacy = _under_plane(True, lambda: part_a.split(records))
+        optimised = _under_plane(False, lambda: part_b.split(records))
+        # repr-compare so nan keys (unequal to themselves) still match.
+        assert repr(optimised) == repr(legacy)
+        for key in keys:
+            assert _under_plane(
+                True, lambda: part_a.partition_of(key)
+            ) == _under_plane(False, lambda: part_b.partition_of(key))
+
 
 # -- satellite: shared record batches --------------------------------------
 

@@ -389,7 +389,8 @@ class TestBenchCli:
         monkeypatch.setattr(
             bench,
             "run_bench_suite",
-            lambda quick=False, rounds=None, log=None, scale_sweep=False: document,
+            lambda quick=False, rounds=None, log=None, scale_sweep=False,
+            profile=False: document,
         )
         return document
 
